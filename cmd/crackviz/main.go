@@ -1,0 +1,30 @@
+// Command crackviz renders the paper's Figure 2: how database cracking
+// physically reorganises a column query by query.
+//
+//	crackviz                        # the worked example
+//	crackviz -n 20 -seed 3          # a random column of 20 values
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"holistic/internal/harness"
+	"holistic/internal/workload"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 0, "random column size (0 = the worked example)")
+		seed = flag.Uint64("seed", 1, "RNG seed for the random column")
+	)
+	flag.Parse()
+
+	vals := []int64{13, 16, 4, 9, 2, 12, 7, 1, 19, 3, 14, 11, 8, 6}
+	queries := [][2]int64{{10, 14}, {7, 16}}
+	if *n > 0 {
+		vals = workload.UniformData(*seed, *n, 1, 100)
+		queries = [][2]int64{{20, 40}, {35, 70}, {10, 25}}
+	}
+	fmt.Println(harness.Fig2(vals, queries))
+}

@@ -1,0 +1,170 @@
+// Command holishell is an interactive shell over the holistic kernel: load
+// data, run the paper's SQL, inject idle time, and watch the physical design
+// evolve.
+//
+//	$ holishell -strategy holistic
+//	holistic> \load R A 1000000
+//	holistic> select A from R where A >= 1000 and A < 11000;
+//	holistic> \idle 500
+//	holistic> \pieces R A
+//	holistic> \q
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"holistic/internal/engine"
+	"holistic/internal/sqlmini"
+	"holistic/internal/workload"
+)
+
+func strategyByName(s string) (engine.Strategy, bool) {
+	for _, st := range engine.Strategies() {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	var (
+		strat  = flag.String("strategy", "holistic", "scan|offline|online|adaptive|holistic")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+		target = flag.Int("target", 1<<14, "holistic target piece size")
+	)
+	flag.Parse()
+	st, ok := strategyByName(*strat)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strat)
+		os.Exit(2)
+	}
+	e := engine.New(engine.Config{Strategy: st, Seed: *seed, TargetPieceSize: *target})
+	defer e.Close()
+
+	fmt.Printf("holistic indexing shell — strategy %s. \\h for help.\n", st)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Printf("%s> ", st)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\h`:
+			help()
+		case strings.HasPrefix(line, `\`):
+			if err := command(e, st, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			out, err := sqlmini.Exec(e, line)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println(out)
+			}
+		}
+		fmt.Printf("%s> ", st)
+	}
+}
+
+func help() {
+	fmt.Print(`statements:
+  select <col> from <table> where <col> >= a and <col> < b;
+  select count(*) / sum(col) from <table> where ...;
+  insert into <table> values (v1, v2, ...);
+  delete from <table> where <col> = v;
+commands:
+  \load <table> <col> <n>   create table/column with n uniform values
+  \idle <n>                 inject an idle window of n refinement actions
+  \pieces <table> <col>     show the column's piece statistics
+  \build <table> <col>      build a full sorted index (offline primitive)
+  \design                   show the physical design of every column
+  \consolidate <t> <c> <m>  prune crack boundaries (merge pieces <= m)
+  \q                        quit
+`)
+}
+
+func command(e *engine.Engine, st engine.Strategy, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\load`:
+		if len(fields) != 4 {
+			return fmt.Errorf(`usage: \load <table> <col> <n>`)
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad row count %q", fields[3])
+		}
+		tab, err := e.Table(fields[1])
+		if err != nil {
+			if tab, err = e.CreateTable(fields[1]); err != nil {
+				return err
+			}
+		}
+		if err := tab.AddColumnFromSlice(fields[2], workload.UniformData(uint64(n), n, 1, int64(n)+1)); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s.%s with %d uniform values in [1,%d]\n", fields[1], fields[2], n, n)
+		return nil
+	case `\idle`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \idle <n>`)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad action count %q", fields[1])
+		}
+		a, w := e.IdleActions(n)
+		fmt.Printf("idle window: %d refinement actions, %d elements touched\n", a, w)
+		if a == 0 && st != engine.StrategyHolistic && st != engine.StrategyOnline {
+			fmt.Printf("(the %s strategy cannot exploit idle time — Table 1)\n", st)
+		}
+		return nil
+	case `\pieces`:
+		if len(fields) != 3 {
+			return fmt.Errorf(`usage: \pieces <table> <col>`)
+		}
+		p, avg, err := e.PieceStats(fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s.%s: %d pieces, avg piece %.0f values\n", fields[1], fields[2], p, avg)
+		return nil
+	case `\build`:
+		if len(fields) != 3 {
+			return fmt.Errorf(`usage: \build <table> <col>`)
+		}
+		d, err := e.BuildFullIndex(fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("full index built in %v\n", d)
+		return nil
+	case `\design`:
+		fmt.Print(engine.FormatPhysicalDesign(e.DescribePhysicalDesign()))
+		return nil
+	case `\consolidate`:
+		if len(fields) != 4 {
+			return fmt.Errorf(`usage: \consolidate <table> <col> <minPiece>`)
+		}
+		m, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return fmt.Errorf("bad piece size %q", fields[3])
+		}
+		n, err := e.Consolidate(fields[1], fields[2], m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("removed %d crack boundaries\n", n)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %s (\\h for help)", fields[0])
+	}
+}

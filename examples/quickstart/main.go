@@ -1,0 +1,59 @@
+// Quickstart: load a column, watch cracking make queries faster, and spend
+// an idle moment on extra refinement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"holistic"
+)
+
+func main() {
+	eng := holistic.New(holistic.Config{
+		Strategy:        holistic.StrategyHolistic,
+		Seed:            1,
+		TargetPieceSize: 1 << 12,
+	})
+	defer eng.Close()
+
+	tab, err := eng.CreateTable("R")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 2_000_000
+	if err := tab.AddColumnFromSlice("A", holistic.GenerateUniform(7, n, 1, n+1)); err != nil {
+		log.Fatal(err)
+	}
+
+	// The first query cracks the column (pays a copy + partition); repeats
+	// on nearby ranges get cheaper and cheaper.
+	fmt.Println("-- query sequence (each query cracks a little more) --")
+	gen := holistic.NewUniformWorkload("R", "A", 1, n+1, 0.01, 42)
+	for i := 0; i < 5; i++ {
+		q := gen.Next()
+		res, err := eng.Select(q.Table, q.Column, q.Lo, q.Hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pieces, avg, _ := eng.PieceStats("R", "A")
+		fmt.Printf("q%d [%d,%d): count=%-6d elapsed=%-12v pieces=%-3d avg-piece=%.0f\n",
+			i+1, q.Lo, q.Hi, res.Count, res.Elapsed, pieces, avg)
+	}
+
+	// An idle moment appears: the tuner spends it on ranked random cracks.
+	actions, work := eng.IdleActions(200)
+	pieces, avg, _ := eng.PieceStats("R", "A")
+	fmt.Printf("\n-- idle window: %d refinement actions (%d elements touched) --\n", actions, work)
+	fmt.Printf("pieces=%d avg-piece=%.0f\n\n", pieces, avg)
+
+	fmt.Println("-- queries after idle refinement --")
+	for i := 0; i < 5; i++ {
+		q := gen.Next()
+		res, err := eng.Select(q.Table, q.Column, q.Lo, q.Hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("q%d [%d,%d): count=%-6d elapsed=%v\n", i+6, q.Lo, q.Hi, res.Count, res.Elapsed)
+	}
+}

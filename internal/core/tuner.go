@@ -1,0 +1,324 @@
+// Package core implements the holistic tuner — the paper's primary
+// contribution. The tuner unifies the three indexing philosophies in one
+// continuous loop:
+//
+//   - like adaptive indexing, all physical design is partial and
+//     incremental: the only tuning primitive is a random crack action on
+//     some column's cracker index;
+//   - like online indexing, the tuner continuously monitors the workload
+//     (package stats) and maintains a ranking of which column deserves the
+//     next refinement (package costmodel);
+//   - like offline indexing, it exploits idle time and a-priori workload
+//     knowledge: idle windows are spent on the top-ranked columns, and
+//     expected workloads can be seeded before any query arrives.
+//
+// The ranking answers the paper's central modelling question — "if we detect
+// a couple of idle milliseconds, on which column should we apply a random
+// crack action?" — with frequency × log2(avgPieceSize / targetPieceSize),
+// which is zero once a column's pieces fit the CPU cache (the paper's
+// observed point of diminishing returns). Ties rotate round-robin, which is
+// exactly the paper's "No Knowledge" behaviour: with nothing observed yet,
+// every column has the equal-share prior and actions spread evenly.
+//
+// The tuner also covers the paper's "No Time" case: when a query's range is
+// found to be hot (many recent queries cracked the same region), the select
+// operator asks the tuner for a few extra random cracks inside that region,
+// accelerating convergence exactly where the workload concentrates.
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"holistic/internal/costmodel"
+	"holistic/internal/cracker"
+	"holistic/internal/stats"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultHotThreshold = 8.0
+	DefaultHotBoost     = 2
+	// DefaultCrackRetries is how many random pivots a Step tries before
+	// falling back to cracking the largest piece.
+	DefaultCrackRetries = 3
+)
+
+// Config tunes the holistic tuner.
+type Config struct {
+	// TargetPieceSize is the cache-resident piece size the ranking aims
+	// for. <= 0 selects costmodel.DefaultTargetPieceSize.
+	TargetPieceSize int
+	// HotThreshold is the decayed per-bucket hit count above which a value
+	// range counts as hot. <= 0 selects DefaultHotThreshold.
+	HotThreshold float64
+	// HotBoost is how many extra random cracks a hot query triggers inside
+	// its range. < 0 disables; 0 selects DefaultHotBoost.
+	HotBoost int
+	// Seed seeds the tuner's private RNG for reproducible runs.
+	Seed uint64
+}
+
+func (c Config) hotThreshold() float64 {
+	if c.HotThreshold <= 0 {
+		return DefaultHotThreshold
+	}
+	return c.HotThreshold
+}
+
+func (c Config) hotBoost() int {
+	if c.HotBoost < 0 {
+		return 0
+	}
+	if c.HotBoost == 0 {
+		return DefaultHotBoost
+	}
+	return c.HotBoost
+}
+
+// Column is the tuner's view of one tunable column, implemented by the
+// engine. Lock guards the column's index structures; CrackIndex is only
+// called with the lock held and must return a non-nil index (creating the
+// cracked copy on first use).
+type Column interface {
+	Name() string
+	Lock()
+	Unlock()
+	CrackIndex() *cracker.Index
+}
+
+// Tuner is the holistic tuning engine. All methods are safe for concurrent
+// use.
+type Tuner struct {
+	cfg       Config
+	model     costmodel.Params
+	collector *stats.Collector
+
+	mu      sync.Mutex
+	cols    []Column
+	rng     *rand.Rand
+	rr      int   // round-robin rotation cursor for rank ties
+	actions int64 // refinement actions performed
+	work    int64 // elements touched by those actions
+	boosts  int64 // hot-range boost cracks performed
+}
+
+// NewTuner builds a tuner around a shared workload collector. A nil
+// collector gets a private one.
+func NewTuner(cfg Config, collector *stats.Collector) *Tuner {
+	if collector == nil {
+		collector = stats.NewCollector()
+	}
+	return &Tuner{
+		cfg:       cfg,
+		model:     costmodel.Params{TargetPieceSize: cfg.TargetPieceSize},
+		collector: collector,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5DEECE66D)),
+	}
+}
+
+// Collector returns the workload statistics collector the tuner consults.
+func (t *Tuner) Collector() *stats.Collector { return t.collector }
+
+// childRNG derives an independent RNG from the tuner's seeded stream so
+// concurrent actions never share rand state. Deterministic given the seed
+// and call order.
+func (t *Tuner) childRNG() *rand.Rand {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return rand.New(rand.NewPCG(t.rng.Uint64(), t.rng.Uint64()))
+}
+
+// Register adds a column to the tuner's candidate set, declaring its value
+// domain for histogram purposes.
+func (t *Tuner) Register(c Column, domLo, domHi int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cols = append(t.cols, c)
+	if !t.collector.Registered(c.Name()) {
+		t.collector.Register(c.Name(), domLo, domHi)
+	}
+}
+
+// NoteQuery records a range query for monitoring. The engine calls it for
+// every select the holistic strategy serves.
+func (t *Tuner) NoteQuery(col string, lo, hi int64) {
+	t.collector.RecordQuery(col, lo, hi)
+}
+
+// SeedWorkload injects a-priori workload knowledge: weight synthetic
+// queries over [lo, hi) of the column. This is the offline-indexing-style
+// input for the paper's "Some Idle Time and Enough Knowledge" case — after
+// seeding, idle actions concentrate on the seeded columns before any real
+// query arrives.
+func (t *Tuner) SeedWorkload(col string, lo, hi int64, weight int) {
+	for i := 0; i < weight; i++ {
+		t.collector.RecordQuery(col, lo, hi)
+	}
+}
+
+// Actions returns the number of idle refinement actions performed.
+func (t *Tuner) Actions() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.actions
+}
+
+// Work returns the total elements touched by idle refinement actions.
+func (t *Tuner) Work() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.work
+}
+
+// Boosts returns the number of hot-range boost cracks performed.
+func (t *Tuner) Boosts() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.boosts
+}
+
+// RankEntry reports one column's current standing in the tuner's ranking.
+type RankEntry struct {
+	Column       string
+	Score        float64
+	Frequency    float64
+	AvgPieceSize float64
+	Pieces       int
+}
+
+// Ranking returns the current ranking, best candidate first. It is a
+// diagnostic snapshot; Step recomputes scores internally.
+func (t *Tuner) Ranking() []RankEntry {
+	t.mu.Lock()
+	cols := append([]Column(nil), t.cols...)
+	t.mu.Unlock()
+	entries := make([]RankEntry, 0, len(cols))
+	for _, c := range cols {
+		freq := t.collector.Frequency(c.Name())
+		c.Lock()
+		ix := c.CrackIndex()
+		avg := ix.AvgPieceSize()
+		pieces := ix.Pieces()
+		c.Unlock()
+		entries = append(entries, RankEntry{
+			Column:       c.Name(),
+			Score:        t.model.Score(freq, avg),
+			Frequency:    freq,
+			AvgPieceSize: avg,
+			Pieces:       pieces,
+		})
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Score > entries[j].Score })
+	return entries
+}
+
+// Step performs one idle refinement action on the best-ranked column. It
+// returns the work done (elements touched) and whether any column still had
+// refinement potential; (0, true) can occur when a random pivot lands on an
+// existing boundary. This is the unit the paper calls "a random index
+// refinement action".
+func (t *Tuner) Step() (work int, ok bool) {
+	t.mu.Lock()
+	cols := append([]Column(nil), t.cols...)
+	rr := t.rr
+	t.rr++
+	t.mu.Unlock()
+	if len(cols) == 0 {
+		return 0, false
+	}
+
+	best := t.pickColumn(cols, rr)
+	if best == nil {
+		return 0, false
+	}
+
+	rng := t.childRNG()
+	best.Lock()
+	ix := best.CrackIndex()
+	w := 0
+	for attempt := 0; attempt < DefaultCrackRetries; attempt++ {
+		if w = ix.RandomCrackDomain(rng); w > 0 {
+			break
+		}
+	}
+	if w == 0 {
+		// Domain pivots keep hitting existing boundaries; force progress on
+		// the largest piece instead.
+		w = ix.RandomCrackLargest(rng)
+	}
+	best.Unlock()
+
+	t.mu.Lock()
+	t.actions++
+	t.work += int64(w)
+	t.mu.Unlock()
+	return w, true
+}
+
+// pickColumn ranks candidates (rotated by rr so score ties round-robin) and
+// returns the best with a positive score, or nil if every column is either
+// converged or irrelevant to the observed workload.
+func (t *Tuner) pickColumn(cols []Column, rr int) Column {
+	n := len(cols)
+	bestScore := 0.0
+	var best Column
+	for i := 0; i < n; i++ {
+		c := cols[(rr+i)%n]
+		freq := t.collector.Frequency(c.Name())
+		c.Lock()
+		avg := c.CrackIndex().AvgPieceSize()
+		c.Unlock()
+		if s := t.model.Score(freq, avg); s > bestScore {
+			bestScore = s
+			best = c
+		}
+	}
+	return best
+}
+
+// RunActions performs up to n refinement actions, returning how many ran
+// and the elements they touched. It stops early when every column is
+// converged. This implements the paper's idle windows of X actions.
+func (t *Tuner) RunActions(n int) (actions int, work int64) {
+	for i := 0; i < n; i++ {
+		w, ok := t.Step()
+		if !ok {
+			break
+		}
+		actions++
+		work += int64(w)
+	}
+	return actions, work
+}
+
+// MaybeBoost implements the "No Time" opportunity: called by the select
+// operator (with the column latch already held) right after serving a query
+// on [lo, hi). If the range is hot per the collector, it applies the
+// configured number of extra random cracks inside the range to ix and
+// returns the elements touched; the cost lands in the query's own critical
+// path, which is acceptable because hot pieces are small by construction.
+func (t *Tuner) MaybeBoost(ix *cracker.Index, col string, lo, hi int64) int {
+	boost := t.cfg.hotBoost()
+	if boost == 0 {
+		return 0
+	}
+	if !t.collector.IsHot(col, lo, hi, t.cfg.hotThreshold()) {
+		return 0
+	}
+	rng := t.childRNG()
+	work := 0
+	done := 0
+	for i := 0; i < boost; i++ {
+		w := ix.RandomCrackInRange(rng, lo, hi)
+		work += w
+		if w > 0 {
+			done++
+		}
+	}
+	t.mu.Lock()
+	t.boosts += int64(done)
+	t.mu.Unlock()
+	return work
+}

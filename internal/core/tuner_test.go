@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"holistic/internal/cracker"
+	"holistic/internal/stats"
+)
+
+// fakeColumn implements Column over an in-memory cracker index.
+type fakeColumn struct {
+	name string
+	mu   sync.Mutex
+	ix   *cracker.Index
+}
+
+func newFakeColumn(name string, n int, domain int64, seed uint64) *fakeColumn {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	vals := make([]int64, n)
+	rows := make([]uint32, n)
+	for i := range vals {
+		vals[i] = rng.Int64N(domain)
+		rows[i] = uint32(i)
+	}
+	return &fakeColumn{name: name, ix: cracker.New(vals, rows)}
+}
+
+func (f *fakeColumn) Name() string               { return f.name }
+func (f *fakeColumn) Lock()                      { f.mu.Lock() }
+func (f *fakeColumn) Unlock()                    { f.mu.Unlock() }
+func (f *fakeColumn) CrackIndex() *cracker.Index { return f.ix }
+
+func (f *fakeColumn) pieces() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ix.Pieces()
+}
+
+func TestStepOnEmptyTuner(t *testing.T) {
+	tn := NewTuner(Config{}, nil)
+	if w, ok := tn.Step(); ok || w != 0 {
+		t.Fatalf("Step on empty tuner: %d,%v", w, ok)
+	}
+	if a, w := tn.RunActions(10); a != 0 || w != 0 {
+		t.Fatalf("RunActions on empty tuner: %d,%d", a, w)
+	}
+}
+
+func TestNoKnowledgeSpreadsRoundRobin(t *testing.T) {
+	tn := NewTuner(Config{TargetPieceSize: 16, Seed: 1}, nil)
+	cols := make([]*fakeColumn, 4)
+	for i := range cols {
+		cols[i] = newFakeColumn(string(rune('a'+i)), 4096, 1<<20, uint64(i+1))
+		tn.Register(cols[i], 0, 1<<20)
+	}
+	// The paper's "No Knowledge" case: no queries recorded, equal priors —
+	// actions must spread across all columns, not pile onto one.
+	actions, work := tn.RunActions(40)
+	if actions != 40 {
+		t.Fatalf("ran %d actions", actions)
+	}
+	if work <= 0 {
+		t.Fatal("no work done")
+	}
+	for _, c := range cols {
+		if c.pieces() < 5 {
+			t.Fatalf("column %s got only %d pieces: not spread round-robin", c.Name(), c.pieces())
+		}
+	}
+	if tn.Actions() != 40 {
+		t.Fatalf("Actions() = %d", tn.Actions())
+	}
+}
+
+func TestKnowledgeFocusesActions(t *testing.T) {
+	tn := NewTuner(Config{TargetPieceSize: 16, Seed: 2}, nil)
+	hot := newFakeColumn("hot", 4096, 1<<20, 11)
+	cold := newFakeColumn("cold", 4096, 1<<20, 12)
+	tn.Register(hot, 0, 1<<20)
+	tn.Register(cold, 0, 1<<20)
+	// Heavily skewed observed workload.
+	for i := 0; i < 200; i++ {
+		tn.NoteQuery("hot", 100, 200)
+	}
+	tn.RunActions(30)
+	if hot.pieces() <= cold.pieces()*3 {
+		t.Fatalf("actions not focused: hot=%d cold=%d pieces", hot.pieces(), cold.pieces())
+	}
+}
+
+func TestSeedWorkloadActsLikeKnowledge(t *testing.T) {
+	tn := NewTuner(Config{TargetPieceSize: 16, Seed: 3}, nil)
+	seeded := newFakeColumn("seeded", 4096, 1<<20, 21)
+	other := newFakeColumn("other", 4096, 1<<20, 22)
+	tn.Register(seeded, 0, 1<<20)
+	tn.Register(other, 0, 1<<20)
+	// A-priori knowledge, no real queries yet (the paper's "Some Idle Time
+	// and Enough Knowledge" case).
+	tn.SeedWorkload("seeded", 0, 1<<20, 100)
+	tn.RunActions(30)
+	if seeded.pieces() <= other.pieces()*3 {
+		t.Fatalf("seeding ignored: seeded=%d other=%d pieces", seeded.pieces(), other.pieces())
+	}
+}
+
+func TestConvergenceStopsActions(t *testing.T) {
+	// Tiny column with a huge target: converged immediately.
+	tn := NewTuner(Config{TargetPieceSize: 1 << 20, Seed: 4}, nil)
+	c := newFakeColumn("a", 1000, 1<<10, 31)
+	tn.Register(c, 0, 1<<10)
+	actions, _ := tn.RunActions(50)
+	if actions != 0 {
+		t.Fatalf("converged column still got %d actions", actions)
+	}
+	// Once pieces fit "in cache", further idle time is left unused —
+	// the paper's observed plateau.
+	if _, ok := tn.Step(); ok {
+		t.Fatal("Step reported work available on converged catalog")
+	}
+}
+
+func TestRunActionsConvergesEventually(t *testing.T) {
+	tn := NewTuner(Config{TargetPieceSize: 256, Seed: 5}, nil)
+	c := newFakeColumn("a", 2048, 1<<16, 41)
+	tn.Register(c, 0, 1<<16)
+	actions, _ := tn.RunActions(10000)
+	if actions == 0 || actions == 10000 {
+		t.Fatalf("expected convergence partway, ran %d", actions)
+	}
+	// avg piece size must now be at or below target.
+	c.Lock()
+	avg := c.ix.AvgPieceSize()
+	c.Unlock()
+	if avg > 256 {
+		t.Fatalf("avg piece %f above target after convergence", avg)
+	}
+}
+
+func TestRankingOrder(t *testing.T) {
+	tn := NewTuner(Config{TargetPieceSize: 16, Seed: 6}, nil)
+	hot := newFakeColumn("hot", 4096, 1<<20, 51)
+	cold := newFakeColumn("cold", 4096, 1<<20, 52)
+	tn.Register(hot, 0, 1<<20)
+	tn.Register(cold, 0, 1<<20)
+	for i := 0; i < 50; i++ {
+		tn.NoteQuery("hot", 0, 1000)
+	}
+	rk := tn.Ranking()
+	if len(rk) != 2 || rk[0].Column != "hot" {
+		t.Fatalf("ranking: %+v", rk)
+	}
+	if rk[0].Score <= rk[1].Score {
+		t.Fatal("ranking scores not ordered")
+	}
+	if rk[0].Pieces <= 0 || rk[0].AvgPieceSize <= 0 {
+		t.Fatalf("ranking stats empty: %+v", rk[0])
+	}
+}
+
+func TestMaybeBoostOnlyWhenHot(t *testing.T) {
+	tn := NewTuner(Config{TargetPieceSize: 16, HotThreshold: 5, HotBoost: 3, Seed: 7}, nil)
+	c := newFakeColumn("a", 8192, 1<<20, 61)
+	tn.Register(c, 0, 1<<20)
+
+	// Cold range: no boost.
+	c.Lock()
+	w := tn.MaybeBoost(c.ix, "a", 100, 200)
+	c.Unlock()
+	if w != 0 {
+		t.Fatalf("boost on cold range did %d work", w)
+	}
+
+	// Make the range hot, then boost.
+	for i := 0; i < 10; i++ {
+		tn.NoteQuery("a", 100, 200)
+	}
+	c.Lock()
+	before := c.ix.Pieces()
+	w = tn.MaybeBoost(c.ix, "a", 100, 200)
+	after := c.ix.Pieces()
+	c.Unlock()
+	if w == 0 {
+		t.Fatal("boost on hot range did no work")
+	}
+	if after <= before {
+		t.Fatal("boost did not add pieces")
+	}
+	if tn.Boosts() == 0 {
+		t.Fatal("boost counter not advanced")
+	}
+}
+
+func TestBoostDisabled(t *testing.T) {
+	tn := NewTuner(Config{HotThreshold: 1, HotBoost: -1, Seed: 8}, nil)
+	c := newFakeColumn("a", 1024, 1<<10, 71)
+	tn.Register(c, 0, 1<<10)
+	for i := 0; i < 10; i++ {
+		tn.NoteQuery("a", 0, 100)
+	}
+	c.Lock()
+	w := tn.MaybeBoost(c.ix, "a", 0, 100)
+	c.Unlock()
+	if w != 0 {
+		t.Fatal("disabled boost still worked")
+	}
+}
+
+func TestSharedCollector(t *testing.T) {
+	coll := stats.NewCollector()
+	tn := NewTuner(Config{}, coll)
+	if tn.Collector() != coll {
+		t.Fatal("collector not shared")
+	}
+	c := newFakeColumn("a", 128, 1<<10, 81)
+	tn.Register(c, 0, 1<<10)
+	tn.NoteQuery("a", 0, 5)
+	if coll.Queries("a") != 1 {
+		t.Fatal("NoteQuery did not reach shared collector")
+	}
+}
+
+func TestConcurrentStepsAndQueries(t *testing.T) {
+	tn := NewTuner(Config{TargetPieceSize: 16, Seed: 9}, nil)
+	cols := make([]*fakeColumn, 3)
+	for i := range cols {
+		cols[i] = newFakeColumn(string(rune('x'+i)), 8192, 1<<20, uint64(90+i))
+		tn.Register(cols[i], 0, 1<<20)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch g % 2 {
+				case 0:
+					tn.Step()
+				case 1:
+					tn.NoteQuery(cols[i%3].name, int64(i*10), int64(i*10+100))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, c := range cols {
+		c.Lock()
+		err := c.ix.Validate()
+		c.Unlock()
+		if err != nil {
+			t.Fatalf("column %s corrupted under concurrency: %v", c.name, err)
+		}
+	}
+	if tn.Actions() != 100 {
+		t.Fatalf("actions %d, want 100", tn.Actions())
+	}
+}
+
+func TestMaybeBoostDegenerateRange(t *testing.T) {
+	tn := NewTuner(Config{HotThreshold: 1, HotBoost: 2, Seed: 10}, nil)
+	c := newFakeColumn("a", 1024, 1<<10, 91)
+	tn.Register(c, 0, 1<<10)
+	for i := 0; i < 5; i++ {
+		tn.NoteQuery("a", 10, 20)
+	}
+	c.Lock()
+	defer c.Unlock()
+	if w := tn.MaybeBoost(c.ix, "a", 20, 20); w != 0 {
+		t.Fatal("boost on empty range")
+	}
+	if w := tn.MaybeBoost(c.ix, "a", 30, 10); w != 0 {
+		t.Fatal("boost on inverted range")
+	}
+}
+
+func TestRankingEmptyTuner(t *testing.T) {
+	tn := NewTuner(Config{}, nil)
+	if rk := tn.Ranking(); len(rk) != 0 {
+		t.Fatalf("ranking on empty tuner: %+v", rk)
+	}
+}
+
+func TestSeedWorkloadUnregisteredColumnIgnored(t *testing.T) {
+	tn := NewTuner(Config{TargetPieceSize: 16, Seed: 11}, nil)
+	c := newFakeColumn("real", 2048, 1<<16, 92)
+	tn.Register(c, 0, 1<<16)
+	// Seeding a ghost column must not panic or skew anything.
+	tn.SeedWorkload("ghost", 0, 100, 50)
+	if f := tn.Collector().Frequency("ghost"); f != 0 {
+		t.Fatalf("ghost frequency %f", f)
+	}
+	// The real column still gets all the idle work.
+	actions, _ := tn.RunActions(10)
+	if actions != 10 {
+		t.Fatalf("actions %d", actions)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() (int64, int) {
+		tn := NewTuner(Config{TargetPieceSize: 64, Seed: 42}, nil)
+		c := newFakeColumn("a", 4096, 1<<16, 7)
+		tn.Register(c, 0, 1<<16)
+		tn.RunActions(100)
+		return tn.Work(), c.pieces()
+	}
+	w1, p1 := run()
+	w2, p2 := run()
+	if w1 != w2 || p1 != p2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", w1, p1, w2, p2)
+	}
+}

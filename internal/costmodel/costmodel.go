@@ -1,0 +1,128 @@
+// Package costmodel implements the cost estimates and the ranking scheme of
+// holistic indexing's continuous tuning loop (paper §3 "Modeling"):
+//
+//	"if we detect a couple of idle milliseconds on which column should we
+//	 apply a random crack action?"
+//
+// The model rests on the paper's key observation: once a cracked column's
+// pieces fit in the CPU caches, further refinement stops paying off. The
+// distance of a column from that optimum is therefore log2(avgPieceSize /
+// targetPieceSize) — the number of halvings still needed — and the expected
+// payoff of giving the next idle crack to a column is that distance weighted
+// by how often the workload actually touches the column.
+//
+// The same package provides the rough operator cost estimates the online
+// (COLT-style) advisor needs for its what-if index selection: all estimates
+// are in abstract "element touch" units so they are machine independent and
+// only ever compared with one another.
+package costmodel
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultTargetPieceSize is the piece size (in values) considered cache
+// resident. 256K int64 values = 2 MiB, a typical L2 size; the paper's
+// stopping criterion is "pieces fit into the CPU caches".
+const DefaultTargetPieceSize = 1 << 18
+
+// Params configures the model.
+type Params struct {
+	// TargetPieceSize is the piece size at which refinement stops paying
+	// off. <= 0 selects DefaultTargetPieceSize.
+	TargetPieceSize int
+}
+
+func (p Params) target() float64 {
+	if p.TargetPieceSize <= 0 {
+		return DefaultTargetPieceSize
+	}
+	return float64(p.TargetPieceSize)
+}
+
+// Distance returns how far a column is from its cache-resident optimum, in
+// expected remaining halvings: log2(avgPieceSize/target), floored at 0.
+func (p Params) Distance(avgPieceSize float64) float64 {
+	t := p.target()
+	if avgPieceSize <= t || avgPieceSize <= 0 {
+		return 0
+	}
+	return math.Log2(avgPieceSize / t)
+}
+
+// Score ranks a column for the next idle refinement: workload frequency
+// times distance from optimal. A zero score means "leave this column alone"
+// — either nobody queries it or its pieces are already cache resident.
+func (p Params) Score(frequency, avgPieceSize float64) float64 {
+	if frequency <= 0 {
+		return 0
+	}
+	return frequency * p.Distance(avgPieceSize)
+}
+
+// Candidate is one column considered by the ranking scheme.
+type Candidate struct {
+	Column       string
+	Frequency    float64
+	AvgPieceSize float64
+	Len          int
+}
+
+// Ranked is a scored candidate.
+type Ranked struct {
+	Candidate
+	Score float64
+}
+
+// Rank scores all candidates and orders them best first. Ties (including the
+// all-zero-frequency "no knowledge" case, where callers typically pass equal
+// frequencies) preserve the caller's order, enabling round-robin behaviour
+// when the tuner rotates its candidate list.
+func (p Params) Rank(cands []Candidate) []Ranked {
+	out := make([]Ranked, len(cands))
+	for i, c := range cands {
+		out[i] = Ranked{Candidate: c, Score: p.Score(c.Frequency, c.AvgPieceSize)}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// Operator cost estimates, in element-touch units. They support the online
+// advisor's what-if arithmetic; only ratios matter.
+
+// ScanCost is the cost of a full scan of n values.
+func ScanCost(n int) float64 { return float64(n) }
+
+// SortCost is the cost of building a full sorted index over n values.
+func SortCost(n int) float64 {
+	if n < 2 {
+		return float64(n)
+	}
+	// Radix sort: a constant number of full passes; 8 passes for 64-bit keys
+	// plus a final copy, with a small per-pass constant.
+	return 9 * float64(n)
+}
+
+// IndexedSelectCost is the cost of answering a range select with a full
+// index: two binary searches plus touching the qualifying tuples.
+func IndexedSelectCost(n int, selectivity float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 2*math.Log2(float64(n)+1) + selectivity*float64(n)
+}
+
+// CrackedSelectCost is the expected cost of a cracked select when the column
+// is cracked into pieces of avgPieceSize: partitioning the bound pieces plus
+// touching the qualifying tuples.
+func CrackedSelectCost(n int, avgPieceSize, selectivity float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 2*avgPieceSize + selectivity*float64(n)
+}
+
+// CrackActionCost is the expected cost of one random refinement action:
+// partitioning one average piece.
+func CrackActionCost(avgPieceSize float64) float64 { return avgPieceSize }

@@ -1,0 +1,148 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	p := Params{TargetPieceSize: 1024}
+	if d := p.Distance(1024); d != 0 {
+		t.Fatalf("at target: %f", d)
+	}
+	if d := p.Distance(512); d != 0 {
+		t.Fatalf("below target: %f", d)
+	}
+	if d := p.Distance(2048); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("one halving away: %f", d)
+	}
+	if d := p.Distance(1024 * 16); math.Abs(d-4) > 1e-9 {
+		t.Fatalf("four halvings away: %f", d)
+	}
+	if d := p.Distance(0); d != 0 {
+		t.Fatalf("zero piece size: %f", d)
+	}
+}
+
+func TestDefaultTarget(t *testing.T) {
+	var p Params
+	if d := p.Distance(DefaultTargetPieceSize * 2); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("default target not applied: %f", d)
+	}
+}
+
+func TestScoreWeighting(t *testing.T) {
+	p := Params{TargetPieceSize: 1024}
+	hot := p.Score(0.8, 1<<20)
+	cold := p.Score(0.1, 1<<20)
+	if hot <= cold {
+		t.Fatal("frequency weighting inverted")
+	}
+	if s := p.Score(0, 1<<20); s != 0 {
+		t.Fatal("zero-frequency column scored")
+	}
+	if s := p.Score(0.5, 100); s != 0 {
+		t.Fatal("converged column scored")
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	p := Params{TargetPieceSize: 1 << 10}
+	cands := []Candidate{
+		{Column: "cold", Frequency: 0.05, AvgPieceSize: 1 << 20},
+		{Column: "hot", Frequency: 0.80, AvgPieceSize: 1 << 20},
+		{Column: "done", Frequency: 0.15, AvgPieceSize: 512},
+	}
+	ranked := p.Rank(cands)
+	if ranked[0].Column != "hot" {
+		t.Fatalf("best = %s", ranked[0].Column)
+	}
+	if ranked[2].Column != "done" || ranked[2].Score != 0 {
+		t.Fatalf("converged column not last: %+v", ranked[2])
+	}
+}
+
+func TestRankStableOnTies(t *testing.T) {
+	p := Params{TargetPieceSize: 1 << 10}
+	cands := []Candidate{
+		{Column: "a", Frequency: 0.5, AvgPieceSize: 1 << 20},
+		{Column: "b", Frequency: 0.5, AvgPieceSize: 1 << 20},
+		{Column: "c", Frequency: 0.5, AvgPieceSize: 1 << 20},
+	}
+	ranked := p.Rank(cands)
+	if ranked[0].Column != "a" || ranked[1].Column != "b" || ranked[2].Column != "c" {
+		t.Fatalf("tie order not stable: %v", ranked)
+	}
+}
+
+func TestOperatorCosts(t *testing.T) {
+	if ScanCost(1000) != 1000 {
+		t.Fatal("scan cost")
+	}
+	if SortCost(1) != 1 || SortCost(0) != 0 {
+		t.Fatal("degenerate sort cost")
+	}
+	if SortCost(1000) <= ScanCost(1000) {
+		t.Fatal("sorting must cost more than one scan")
+	}
+	n := 1 << 20
+	if IndexedSelectCost(n, 0.01) >= ScanCost(n) {
+		t.Fatal("indexed select must beat a scan at 1% selectivity")
+	}
+	if IndexedSelectCost(0, 0.5) != 0 || CrackedSelectCost(0, 10, 0.5) != 0 {
+		t.Fatal("empty column costs")
+	}
+	// A freshly cracked column (huge pieces) costs more per query than a
+	// converged one.
+	if CrackedSelectCost(n, float64(n), 0.01) <= CrackedSelectCost(n, 1024, 0.01) {
+		t.Fatal("cracked select cost not monotone in piece size")
+	}
+	if CrackActionCost(4096) != 4096 {
+		t.Fatal("crack action cost")
+	}
+}
+
+func TestPropertyDistanceMonotone(t *testing.T) {
+	f := func(targetRaw uint16, aRaw, bRaw uint32) bool {
+		p := Params{TargetPieceSize: int(targetRaw) + 1}
+		a, b := float64(aRaw), float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		da, db := p.Distance(a), p.Distance(b)
+		if da < 0 || db < 0 {
+			return false
+		}
+		return da <= db
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRankBestHasMaxScore(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := int(nRaw%10) + 1
+		p := Params{TargetPieceSize: 1 << 10}
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = Candidate{
+				Frequency:    rng.Float64(),
+				AvgPieceSize: float64(rng.Int64N(1 << 24)),
+			}
+		}
+		ranked := p.Rank(cands)
+		for i := 1; i < len(ranked); i++ {
+			if ranked[i].Score > ranked[0].Score {
+				return false
+			}
+		}
+		return len(ranked) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

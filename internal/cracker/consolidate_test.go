@@ -1,0 +1,109 @@
+package cracker
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestConsolidateZeroWidthPieces(t *testing.T) {
+	ix := newTestIndex([]int64{10, 20, 30, 40, 50})
+	// Query bounds below the domain create boundaries at position 0.
+	ix.CrackRange(-10, 25) // boundaries: -10 -> 0, 25 -> pos
+	ix.CrackRange(-5, 25)  // -5 -> 0: piece [-10,-5) is zero width
+	if ix.Pieces() != 4 {
+		t.Fatalf("setup pieces = %d", ix.Pieces())
+	}
+	removed := ix.Consolidate(0)
+	if removed != 1 {
+		t.Fatalf("removed %d boundaries, want 1", removed)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Results unchanged after consolidation.
+	from, to := ix.CrackRange(-5, 25)
+	if n, _ := ix.CountSum(from, to); n != 2 {
+		t.Fatalf("post-consolidate count %d", n)
+	}
+}
+
+func TestConsolidateMergesMicroPieces(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	ix := newTestIndex(randomVals(rng, 4096, 1<<20))
+	for i := 0; i < 300; i++ {
+		ix.RandomCrackDomain(rng)
+	}
+	before := ix.Pieces()
+	removed := ix.Consolidate(256)
+	after := ix.Pieces()
+	if removed == 0 || after >= before {
+		t.Fatalf("consolidation did nothing: %d -> %d pieces (%d removed)", before, after, removed)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving interior merge respects the size bound loosely:
+	// pieces may exceed minPiece (they were already bigger), but no two
+	// adjacent pieces should both be tiny enough to merge again.
+	if again := ix.Consolidate(256); again != 0 {
+		t.Fatalf("second consolidation removed %d more boundaries", again)
+	}
+}
+
+func TestConsolidateEmptyAndUncracked(t *testing.T) {
+	if removed := newTestIndex(nil).Consolidate(16); removed != 0 {
+		t.Fatal("empty index consolidated")
+	}
+	if removed := newTestIndex([]int64{1, 2, 3}).Consolidate(16); removed != 0 {
+		t.Fatal("uncracked index consolidated")
+	}
+}
+
+// TestPropertyConsolidatePreservesResults: consolidation never changes query
+// answers, for any crack history and any minPiece.
+func TestPropertyConsolidatePreservesResults(t *testing.T) {
+	f := func(seed uint64, minPieceRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 101))
+		domain := int64(2000)
+		base := randomVals(rng, 1500, domain)
+		ix := newTestIndex(base)
+		for q := 0; q < 25; q++ {
+			lo := rng.Int64N(domain+100) - 50
+			ix.CrackRange(lo, lo+rng.Int64N(300))
+			ix.RandomCrackDomain(rng)
+		}
+		ix.Consolidate(int(minPieceRaw))
+		if ix.Validate() != nil {
+			return false
+		}
+		for q := 0; q < 25; q++ {
+			lo := rng.Int64N(domain+100) - 50
+			hi := lo + rng.Int64N(300)
+			from, to := ix.CrackRange(lo, hi)
+			n, s := ix.CountSum(from, to)
+			wn, ws := naiveRange(base, lo, hi)
+			if n != wn || s != ws {
+				return false
+			}
+		}
+		return ix.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConsolidate(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	base := randomVals(rng, 1<<18, 1<<30)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ix := newTestIndex(base)
+		for j := 0; j < 2000; j++ {
+			ix.RandomCrackDomain(rng)
+		}
+		b.StartTimer()
+		ix.Consolidate(1 << 8)
+	}
+}

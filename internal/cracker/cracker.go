@@ -1,0 +1,420 @@
+// Package cracker implements database cracking, the adaptive indexing
+// substrate of the holistic kernel (Idreos, Kersten, Manegold, CIDR 2007).
+//
+// A cracker index keeps a reorganised copy of a base column together with a
+// cracker tree (package cracktree) that records, for each crack boundary
+// value v, the first position holding a value >= v. The copy is physically
+// reordered — "cracked" — as a side effect of range selects: each query
+// partitions only the piece(s) its predicate bounds fall into, so the column
+// converges towards sorted order exactly where the workload has interest.
+//
+// Beyond query-driven cracking the package provides random crack actions —
+// partitioning a piece around an arbitrary pivot — which are the unit of
+// holistic indexing's idle-time work ("X index refinements" in the paper).
+package cracker
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"holistic/internal/column"
+	"holistic/internal/cracktree"
+)
+
+// Index is a cracker index over a single column. It is not safe for
+// concurrent use; the engine guards each index with a latch.
+type Index struct {
+	vals []int64
+	rows []uint32
+	tree cracktree.Tree
+
+	// Domain bounds of the stored values, cached at construction.
+	domLo, domHi int64
+
+	cracks int   // crack actions performed (boundaries inserted)
+	work   int64 // elements touched by partitioning, the dominant cost
+}
+
+// New builds a cracker index that adopts vals and rows (no copy). Both
+// slices must have the same length; rows[i] is the base row id of vals[i].
+func New(vals []int64, rows []uint32) *Index {
+	ix := &Index{vals: vals, rows: rows}
+	if len(vals) > 0 {
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		ix.domLo, ix.domHi = lo, hi
+	}
+	return ix
+}
+
+// FromColumn snapshots a base column into a fresh cracker index. This is the
+// copy the first query pays for when cracking starts on a column.
+func FromColumn(c *column.Column) *Index {
+	vals, rows := c.Snapshot()
+	return New(vals, rows)
+}
+
+// Len returns the number of values in the index.
+func (ix *Index) Len() int { return len(ix.vals) }
+
+// Pieces returns the number of pieces the column is currently cracked into.
+// An uncracked, non-empty column is one piece.
+func (ix *Index) Pieces() int {
+	if len(ix.vals) == 0 {
+		return 0
+	}
+	return ix.tree.Len() + 1
+}
+
+// Cracks returns the number of crack actions (boundary insertions) so far.
+func (ix *Index) Cracks() int { return ix.cracks }
+
+// Work returns the cumulative number of elements touched by partitioning.
+func (ix *Index) Work() int64 { return ix.work }
+
+// AvgPieceSize returns the mean piece size, or 0 for an empty index.
+func (ix *Index) AvgPieceSize() float64 {
+	p := ix.Pieces()
+	if p == 0 {
+		return 0
+	}
+	return float64(len(ix.vals)) / float64(p)
+}
+
+// Domain returns the cached [lo, hi] value bounds of the indexed data.
+// Ok is false for an empty index.
+func (ix *Index) Domain() (lo, hi int64, ok bool) {
+	if len(ix.vals) == 0 {
+		return 0, 0, false
+	}
+	return ix.domLo, ix.domHi, true
+}
+
+// Values exposes the cracked copy. Callers must treat it as read-only.
+func (ix *Index) Values() []int64 { return ix.vals }
+
+// Rows exposes the base row ids aligned with Values.
+func (ix *Index) Rows() []uint32 { return ix.rows }
+
+// pieceBounds returns the [start, end) positions of the piece that value v
+// falls into. A boundary key exactly equal to v starts the piece.
+func (ix *Index) pieceBounds(v int64) (int, int) {
+	start := 0
+	if _, pos, ok := ix.tree.Floor(v); ok {
+		start = pos
+	}
+	end := len(ix.vals)
+	if _, pos, ok := ix.tree.Higher(v); ok {
+		end = pos
+	}
+	return start, end
+}
+
+// PieceOf returns the [start, end) positions of the piece that value v
+// currently falls into, without cracking anything. Stochastic variants use
+// it to decide whether a piece still needs splitting.
+func (ix *Index) PieceOf(v int64) (start, end int) {
+	return ix.pieceBounds(v)
+}
+
+// CrackRange ensures crack boundaries exist for lo and hi and returns the
+// contiguous region [from, to) of the cracked copy that holds exactly the
+// values in [lo, hi). It is the select operator's core: the first query on a
+// range pays for partitioning, later queries on the same bounds are pure
+// lookups. An empty or inverted range yields (0, 0).
+func (ix *Index) CrackRange(lo, hi int64) (from, to int) {
+	if lo >= hi || len(ix.vals) == 0 {
+		return 0, 0
+	}
+	pLo, okLo := ix.tree.Get(lo)
+	pHi, okHi := ix.tree.Get(hi)
+	switch {
+	case okLo && okHi:
+		return pLo, pHi
+	case okLo:
+		return pLo, ix.crackAt(hi)
+	case okHi:
+		return ix.crackAt(lo), pHi
+	}
+	aL, bL := ix.pieceBounds(lo)
+	aH, bH := ix.pieceBounds(hi)
+	if aL == aH && bL == bH {
+		// Both bounds fall inside the same piece: crack in three.
+		m1, m2 := partition3(ix.vals, ix.rows, aL, bL, lo, hi)
+		ix.tree.Insert(lo, m1)
+		ix.tree.Insert(hi, m2)
+		ix.cracks += 2
+		ix.work += int64(bL - aL)
+		return m1, m2
+	}
+	m1 := partition2(ix.vals, ix.rows, aL, bL, lo)
+	ix.tree.Insert(lo, m1)
+	m2 := partition2(ix.vals, ix.rows, aH, bH, hi)
+	ix.tree.Insert(hi, m2)
+	ix.cracks += 2
+	ix.work += int64(bL - aL + bH - aH)
+	return m1, m2
+}
+
+// crackAt inserts a boundary for v (assumed absent) and returns its position.
+func (ix *Index) crackAt(v int64) int {
+	a, b := ix.pieceBounds(v)
+	m := partition2(ix.vals, ix.rows, a, b, v)
+	ix.tree.Insert(v, m)
+	ix.cracks++
+	ix.work += int64(b - a)
+	return m
+}
+
+// CrackAt cracks the piece containing v around pivot v. It reports the size
+// of the piece partitioned (the work done) and whether a new boundary was
+// created; cracking at an existing boundary is a no-op.
+func (ix *Index) CrackAt(v int64) (pieceSize int, cracked bool) {
+	if len(ix.vals) == 0 {
+		return 0, false
+	}
+	if _, ok := ix.tree.Get(v); ok {
+		return 0, false
+	}
+	a, b := ix.pieceBounds(v)
+	ix.crackAt(v)
+	return b - a, true
+}
+
+// RandomCrackDomain performs one random refinement action: it draws a pivot
+// uniformly from the column's value domain and cracks there. This is the
+// paper's idle-time work unit. It reports the work done (elements touched);
+// work 0 means the pivot hit an existing boundary.
+func (ix *Index) RandomCrackDomain(rng *rand.Rand) int {
+	if len(ix.vals) == 0 || ix.domLo >= ix.domHi {
+		return 0
+	}
+	v := ix.domLo + rng.Int64N(ix.domHi-ix.domLo) + 1 // pivot in (domLo, domHi]
+	size, ok := ix.CrackAt(v)
+	if !ok {
+		return 0
+	}
+	return size
+}
+
+// RandomCrackInRange performs one random refinement inside the value range
+// [lo, hi): it picks a random element of a piece overlapping the range as
+// pivot (the MDD1R pivot rule) and cracks there. Used for hot-range boosts.
+func (ix *Index) RandomCrackInRange(rng *rand.Rand, lo, hi int64) int {
+	if len(ix.vals) == 0 || lo >= hi {
+		return 0
+	}
+	mid := lo + rng.Int64N(hi-lo)
+	a, b := ix.pieceBounds(mid)
+	if b-a < 2 {
+		return 0
+	}
+	v := ix.vals[a+rng.IntN(b-a)]
+	size, ok := ix.CrackAt(v)
+	if !ok {
+		return 0
+	}
+	return size
+}
+
+// RandomCrackLargest finds the largest piece and cracks it around one of its
+// elements chosen at random. O(pieces) to locate the piece; used by tuners
+// that prefer guaranteed progress over the cheaper domain-uniform pick.
+func (ix *Index) RandomCrackLargest(rng *rand.Rand) int {
+	p, ok := ix.MaxPiece()
+	if !ok || p.End-p.Start < 2 {
+		return 0
+	}
+	v := ix.vals[p.Start+rng.IntN(p.End-p.Start)]
+	size, cracked := ix.CrackAt(v)
+	if !cracked {
+		return 0
+	}
+	return size
+}
+
+// Piece describes one contiguous region of the cracked copy. Values in the
+// region lie in [Lo, Hi); HasLo/HasHi are false for the outermost pieces
+// whose bounds are only limited by the column domain.
+type Piece struct {
+	Start, End int
+	Lo, Hi     int64
+	HasLo      bool
+	HasHi      bool
+}
+
+// Size returns the number of values in the piece.
+func (p Piece) Size() int { return p.End - p.Start }
+
+// ForEachPiece visits every piece in position order. The visit function
+// returns false to stop early.
+func (ix *Index) ForEachPiece(visit func(Piece) bool) {
+	if len(ix.vals) == 0 {
+		return
+	}
+	prevPos := 0
+	prevKey := int64(0)
+	hasPrev := false
+	stopped := false
+	ix.tree.Walk(func(key int64, pos int) bool {
+		p := Piece{Start: prevPos, End: pos, Lo: prevKey, Hi: key, HasLo: hasPrev, HasHi: true}
+		prevPos, prevKey, hasPrev = pos, key, true
+		if !visit(p) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	visit(Piece{Start: prevPos, End: len(ix.vals), Lo: prevKey, HasLo: hasPrev})
+}
+
+// MaxPiece returns the largest piece. Ok is false for an empty index.
+func (ix *Index) MaxPiece() (Piece, bool) {
+	var best Piece
+	found := false
+	ix.ForEachPiece(func(p Piece) bool {
+		if !found || p.Size() > best.Size() {
+			best, found = p, true
+		}
+		return true
+	})
+	return best, found
+}
+
+// CountSum aggregates the region [from, to) of the cracked copy, returning
+// the tuple count and the sum of values — the projection checksum the engine
+// uses to compare strategies.
+func (ix *Index) CountSum(from, to int) (int, int64) {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(ix.vals) {
+		to = len(ix.vals)
+	}
+	var sum int64
+	for _, v := range ix.vals[from:to] {
+		sum += v
+	}
+	return to - from, sum
+}
+
+// Stats summarises the physical state of the index.
+type Stats struct {
+	Len          int
+	Pieces       int
+	Cracks       int
+	Work         int64
+	AvgPieceSize float64
+	MaxPieceSize int
+}
+
+// Stats returns a snapshot of the index's physical state. MaxPieceSize costs
+// O(pieces).
+func (ix *Index) Stats() Stats {
+	s := Stats{
+		Len:          ix.Len(),
+		Pieces:       ix.Pieces(),
+		Cracks:       ix.cracks,
+		Work:         ix.work,
+		AvgPieceSize: ix.AvgPieceSize(),
+	}
+	if p, ok := ix.MaxPiece(); ok {
+		s.MaxPieceSize = p.Size()
+	}
+	return s
+}
+
+// Validate checks the structural invariants of the index:
+//   - boundary positions are within range and non-decreasing in key order;
+//   - every value left of a boundary is < its key, every value right is >= it;
+//   - vals and rows have equal length.
+//
+// It is exported for use by tests across packages.
+func (ix *Index) Validate() error {
+	if len(ix.vals) != len(ix.rows) {
+		return fmt.Errorf("cracker: vals/rows length mismatch %d != %d", len(ix.vals), len(ix.rows))
+	}
+	prevPos := 0
+	var err error
+	ix.tree.Walk(func(key int64, pos int) bool {
+		if pos < prevPos || pos > len(ix.vals) {
+			err = fmt.Errorf("cracker: boundary %d has position %d out of order (prev %d, len %d)", key, pos, prevPos, len(ix.vals))
+			return false
+		}
+		prevPos = pos
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Verify piece value bounds.
+	ix.ForEachPiece(func(p Piece) bool {
+		for i := p.Start; i < p.End; i++ {
+			if p.HasLo && ix.vals[i] < p.Lo {
+				err = fmt.Errorf("cracker: vals[%d]=%d below piece bound %d", i, ix.vals[i], p.Lo)
+				return false
+			}
+			if p.HasHi && ix.vals[i] >= p.Hi {
+				err = fmt.Errorf("cracker: vals[%d]=%d not below piece bound %d", i, ix.vals[i], p.Hi)
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// partition2 reorders vals[a:b] (and rows in lockstep) so that values < pivot
+// precede values >= pivot, returning the split position.
+func partition2(vals []int64, rows []uint32, a, b int, pivot int64) int {
+	i, j := a, b-1
+	for {
+		for i <= j && vals[i] < pivot {
+			i++
+		}
+		for i <= j && vals[j] >= pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		vals[i], vals[j] = vals[j], vals[i]
+		rows[i], rows[j] = rows[j], rows[i]
+		i++
+		j--
+	}
+	return i
+}
+
+// partition3 reorders vals[a:b] into three bands: < lo, [lo, hi), >= hi,
+// returning the two split positions (m1 = start of middle, m2 = start of
+// high band).
+func partition3(vals []int64, rows []uint32, a, b int, lo, hi int64) (m1, m2 int) {
+	lt, i, gt := a, a, b-1
+	for i <= gt {
+		switch v := vals[i]; {
+		case v < lo:
+			vals[i], vals[lt] = vals[lt], vals[i]
+			rows[i], rows[lt] = rows[lt], rows[i]
+			lt++
+			i++
+		case v >= hi:
+			vals[i], vals[gt] = vals[gt], vals[i]
+			rows[i], rows[gt] = rows[gt], rows[i]
+			gt--
+		default:
+			i++
+		}
+	}
+	return lt, gt + 1
+}

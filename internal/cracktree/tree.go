@@ -1,0 +1,308 @@
+// Package cracktree implements the cracker index tree: a self-balancing
+// (AVL) binary search tree that maps crack boundary values to positions in a
+// cracked column copy.
+//
+// For a boundary with key v and position p the invariant is: every element of
+// the cracked array at a position < p has a value < v, and every element at a
+// position >= p has a value >= v. Consecutive boundaries therefore delimit
+// "pieces": maximal contiguous regions whose value bounds are known but whose
+// contents are unsorted. Database cracking refines pieces over time by
+// inserting new boundaries; the tree must support ordered lookups (floor,
+// ceiling, exact), in-order traversal for piece enumeration, and bulk
+// position shifts for updates that ripple through the cracked copy.
+package cracktree
+
+// Tree is an AVL tree of crack boundaries. The zero value is an empty tree
+// ready to use.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	key         int64 // boundary value
+	pos         int   // first position whose value is >= key
+	left, right *node
+	height      int8
+}
+
+// Len returns the number of boundaries stored in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the height of the tree (0 for an empty tree).
+func (t *Tree) Height() int {
+	return int(height(t.root))
+}
+
+func height(n *node) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func balanceFactor(n *node) int {
+	return int(height(n.left)) - int(height(n.right))
+}
+
+func fix(n *node) {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+}
+
+func rotateRight(y *node) *node {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	fix(y)
+	fix(x)
+	return x
+}
+
+func rotateLeft(x *node) *node {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	fix(x)
+	fix(y)
+	return y
+}
+
+func rebalance(n *node) *node {
+	fix(n)
+	bf := balanceFactor(n)
+	switch {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Insert records a boundary key -> pos. If the key is already present its
+// position is overwritten. It reports whether a new boundary was created.
+func (t *Tree) Insert(key int64, pos int) bool {
+	var added bool
+	t.root, added = insert(t.root, key, pos)
+	if added {
+		t.size++
+	}
+	return added
+}
+
+func insert(n *node, key int64, pos int) (*node, bool) {
+	if n == nil {
+		return &node{key: key, pos: pos, height: 1}, true
+	}
+	var added bool
+	switch {
+	case key < n.key:
+		n.left, added = insert(n.left, key, pos)
+	case key > n.key:
+		n.right, added = insert(n.right, key, pos)
+	default:
+		n.pos = pos
+		return n, false
+	}
+	return rebalance(n), added
+}
+
+// Get returns the position recorded for an exact boundary key.
+func (t *Tree) Get(key int64) (pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.pos, true
+		}
+	}
+	return 0, false
+}
+
+// Floor returns the largest boundary whose key is <= key.
+func (t *Tree) Floor(key int64) (k int64, pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			k, pos, ok = n.key, n.pos, true
+			n = n.right
+		default:
+			return n.key, n.pos, true
+		}
+	}
+	return k, pos, ok
+}
+
+// Ceiling returns the smallest boundary whose key is >= key.
+func (t *Tree) Ceiling(key int64) (k int64, pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key > n.key:
+			n = n.right
+		case key < n.key:
+			k, pos, ok = n.key, n.pos, true
+			n = n.left
+		default:
+			return n.key, n.pos, true
+		}
+	}
+	return k, pos, ok
+}
+
+// Higher returns the smallest boundary whose key is strictly greater than key.
+func (t *Tree) Higher(key int64) (k int64, pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		if key < n.key {
+			k, pos, ok = n.key, n.pos, true
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return k, pos, ok
+}
+
+// Lower returns the largest boundary whose key is strictly less than key.
+func (t *Tree) Lower(key int64) (k int64, pos int, ok bool) {
+	n := t.root
+	for n != nil {
+		if key > n.key {
+			k, pos, ok = n.key, n.pos, true
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return k, pos, ok
+}
+
+// Min returns the smallest boundary in the tree.
+func (t *Tree) Min() (k int64, pos int, ok bool) {
+	n := t.root
+	if n == nil {
+		return 0, 0, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.pos, true
+}
+
+// Max returns the largest boundary in the tree.
+func (t *Tree) Max() (k int64, pos int, ok bool) {
+	n := t.root
+	if n == nil {
+		return 0, 0, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.pos, true
+}
+
+// Remove deletes the boundary with the given key, reporting whether it was
+// present. Removing a boundary merges the two pieces it separated; the
+// cracker uses this when consolidating degenerate (zero-width) pieces.
+func (t *Tree) Remove(key int64) bool {
+	var removed bool
+	t.root, removed = remove(t.root, key)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func remove(n *node, key int64) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case key < n.key:
+		n.left, removed = remove(n.left, key)
+	case key > n.key:
+		n.right, removed = remove(n.right, key)
+	default:
+		removed = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		// Replace with in-order successor.
+		s := n.right
+		for s.left != nil {
+			s = s.left
+		}
+		n.key, n.pos = s.key, s.pos
+		n.right, _ = remove(n.right, s.key)
+	}
+	return rebalance(n), removed
+}
+
+// Walk visits every boundary in ascending key order. The visit function
+// returns false to stop the walk early.
+func (t *Tree) Walk(visit func(key int64, pos int) bool) {
+	walk(t.root, visit)
+}
+
+func walk(n *node, visit func(int64, int) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !walk(n.left, visit) {
+		return false
+	}
+	if !visit(n.key, n.pos) {
+		return false
+	}
+	return walk(n.right, visit)
+}
+
+// ShiftAfter adds delta to the position of every boundary whose key is
+// strictly greater than key. Updates use it when a ripple insert or delete
+// moves every piece above the touched piece by one slot.
+func (t *Tree) ShiftAfter(key int64, delta int) {
+	shiftAfter(t.root, key, delta)
+}
+
+func shiftAfter(n *node, key int64, delta int) {
+	if n == nil {
+		return
+	}
+	if n.key > key {
+		n.pos += delta
+		shiftAfter(n.left, key, delta)
+		shiftAfter(n.right, key, delta)
+		return
+	}
+	// n.key <= key: the whole left subtree is <= key as well.
+	shiftAfter(n.right, key, delta)
+}
+
+// Clear removes every boundary.
+func (t *Tree) Clear() {
+	t.root = nil
+	t.size = 0
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColumnDesign describes the live physical design of one column — what an
+// administrator (or the holistic tuner) sees when inspecting the kernel.
+type ColumnDesign struct {
+	Table  string
+	Column string
+	Rows   int // live rows
+	// FullIndex reports whether a full sorted index exists (offline/online).
+	FullIndex bool
+	// Cracked reports whether a cracker index has been materialised.
+	Cracked bool
+	// Pieces / AvgPieceSize describe the cracker index (0 when !Cracked).
+	Pieces       int
+	AvgPieceSize float64
+	// PendingInserts / PendingDeletes count buffered updates not yet merged.
+	PendingInserts int
+	PendingDeletes int
+}
+
+// DescribePhysicalDesign returns the current physical design of every
+// column, sorted by table then column name.
+func (e *Engine) DescribePhysicalDesign() []ColumnDesign {
+	e.mu.RLock()
+	tables := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+
+	var out []ColumnDesign
+	for _, t := range tables {
+		t.mu.RLock()
+		names := append([]string(nil), t.order...)
+		live := t.live
+		cols := make([]*colState, 0, len(names))
+		for _, n := range names {
+			cols = append(cols, t.cols[n])
+		}
+		t.mu.RUnlock()
+		for i, cs := range cols {
+			cs.mu.Lock()
+			d := ColumnDesign{
+				Table:     t.name,
+				Column:    names[i],
+				Rows:      live,
+				FullIndex: cs.sorted != nil,
+				Cracked:   cs.crack != nil,
+			}
+			if cs.crack != nil {
+				d.Pieces = cs.crack.Pieces()
+				d.AvgPieceSize = cs.crack.AvgPieceSize()
+			}
+			d.PendingInserts, d.PendingDeletes = cs.pending.Counts()
+			cs.mu.Unlock()
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}
+
+// FormatPhysicalDesign renders DescribePhysicalDesign as a table.
+func FormatPhysicalDesign(ds []ColumnDesign) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %10s %6s %8s %8s %10s %9s %9s\n",
+		"column", "rows", "full", "cracked", "pieces", "avg-piece", "pend-ins", "pend-del")
+	for _, d := range ds {
+		yes := func(v bool) string {
+			if v {
+				return "yes"
+			}
+			return "-"
+		}
+		fmt.Fprintf(&b, "%-20s %10d %6s %8s %8d %10.0f %9d %9d\n",
+			d.Table+"."+d.Column, d.Rows, yes(d.FullIndex), yes(d.Cracked),
+			d.Pieces, d.AvgPieceSize, d.PendingInserts, d.PendingDeletes)
+	}
+	return b.String()
+}
+
+// Consolidate prunes redundant crack boundaries on a column: zero-width
+// pieces always, and adjacent pieces whose merged size stays at or below
+// minPiece when minPiece > 0. It returns the number of boundaries removed.
+// This is the kernel's index-maintenance primitive, safe to run during idle
+// time; query results are never affected.
+func (e *Engine) Consolidate(table, col string, minPiece int) (int, error) {
+	cs, err := e.colState(table, col)
+	if err != nil {
+		return 0, err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.crack == nil {
+		return 0, nil
+	}
+	return cs.crack.Consolidate(minPiece), nil
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribePhysicalDesign(t *testing.T) {
+	e := New(Config{Strategy: StrategyHolistic, Seed: 1, TargetPieceSize: 64})
+	defer e.Close()
+	tab, _ := e.CreateTable("R")
+	tab.AddColumnFromSlice("b", []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	tab.AddColumnFromSlice("a", []int64{8, 7, 6, 5, 4, 3, 2, 1})
+
+	ds := e.DescribePhysicalDesign()
+	if len(ds) != 2 {
+		t.Fatalf("designs: %+v", ds)
+	}
+	// Sorted by column name within the table.
+	if ds[0].Column != "a" || ds[1].Column != "b" {
+		t.Fatalf("order: %+v", ds)
+	}
+	if ds[0].Cracked || ds[0].FullIndex || ds[0].Pieces != 0 {
+		t.Fatalf("fresh column design: %+v", ds[0])
+	}
+
+	// Crack column a, build full index on b, buffer an update.
+	e.Select("R", "a", 3, 6)
+	e.BuildFullIndex("R", "b")
+	tab.InsertRow(9, 9)
+
+	ds = e.DescribePhysicalDesign()
+	a, b := ds[0], ds[1]
+	if !a.Cracked || a.Pieces < 2 {
+		t.Fatalf("a design: %+v", a)
+	}
+	if a.PendingInserts != 1 {
+		t.Fatalf("a pending: %+v", a)
+	}
+	if !b.FullIndex || b.Cracked {
+		t.Fatalf("b design: %+v", b)
+	}
+	if a.Rows != 9 || b.Rows != 9 {
+		t.Fatalf("rows: %+v %+v", a, b)
+	}
+
+	out := FormatPhysicalDesign(ds)
+	for _, want := range []string{"R.a", "R.b", "pieces", "pend-ins"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEngineConsolidate(t *testing.T) {
+	e := New(Config{Strategy: StrategyAdaptive, Seed: 2})
+	defer e.Close()
+	tab, _ := e.CreateTable("R")
+	data := make([]int64, 4096)
+	for i := range data {
+		data[i] = int64(i * 7 % 4096)
+	}
+	tab.AddColumnFromSlice("A", data)
+
+	// No cracker index yet: consolidation is a no-op, not an error.
+	if n, err := e.Consolidate("R", "A", 64); err != nil || n != 0 {
+		t.Fatalf("uncracked consolidate: %d %v", n, err)
+	}
+	// Crack heavily, then consolidate micro-pieces away.
+	for lo := int64(0); lo < 4000; lo += 40 {
+		e.Select("R", "A", lo, lo+20)
+	}
+	before, _, _ := e.PieceStats("R", "A")
+	n, err := e.Consolidate("R", "A", 256)
+	if err != nil || n == 0 {
+		t.Fatalf("consolidate: %d %v", n, err)
+	}
+	after, _, _ := e.PieceStats("R", "A")
+	if after >= before {
+		t.Fatalf("pieces %d -> %d", before, after)
+	}
+	// Queries still correct.
+	r, _ := e.Select("R", "A", 100, 300)
+	want := 0
+	for _, v := range data {
+		if v >= 100 && v < 300 {
+			want++
+		}
+	}
+	if r.Count != want {
+		t.Fatalf("post-consolidate count %d want %d", r.Count, want)
+	}
+	if _, err := e.Consolidate("R", "nope", 1); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestOnlineBuildPenaltyLandsOnTriggeringQuery verifies the online-indexing
+// weakness the paper calls out: the query that closes the epoch pays the
+// whole index build.
+func TestOnlineBuildPenaltyLandsOnTriggeringQuery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	vals := randomVals(rng, 500000, 1<<20)
+	e := newEngineWithData(t, Config{Strategy: StrategyOnline, OnlineEpoch: 10}, vals)
+	defer e.Close()
+
+	var durs []int64
+	for i := 0; i < 10; i++ {
+		lo := rng.Int64N(1 << 20)
+		r, err := e.Select("R", "A", lo, lo+1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		durs = append(durs, r.Elapsed.Nanoseconds())
+	}
+	// Query 10 closed the epoch and built the index: it must be the most
+	// expensive observation by a clear margin over the median scan.
+	last := durs[len(durs)-1]
+	for i, d := range durs[:len(durs)-1] {
+		if last < d {
+			t.Fatalf("epoch-closing query (%d ns) cheaper than query %d (%d ns)", last, i, d)
+		}
+	}
+	// And queries after the build are far cheaper than scans.
+	r, _ := e.Select("R", "A", 1000, 2000)
+	if r.Elapsed.Nanoseconds() > durs[0]/10 {
+		t.Fatalf("post-build query %v not much cheaper than scan %dns", r.Elapsed, durs[0])
+	}
+}
+
+// TestOnlineDropsUnusedIndex drives two columns: one hot, one that goes
+// cold after its index is built. The advisor must drop the cold index.
+func TestOnlineDropsUnusedIndex(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 54))
+	e := New(Config{Strategy: StrategyOnline, OnlineEpoch: 10})
+	defer e.Close()
+	tab, _ := e.CreateTable("R")
+	tab.AddColumnFromSlice("cold", randomVals(rng, 300000, 1<<20))
+	tab.AddColumnFromSlice("hot", randomVals(rng, 300000, 1<<20))
+
+	// Epoch 1: hammer "cold" so it gets an index.
+	for i := 0; i < 10; i++ {
+		if _, err := e.Select("R", "cold", 0, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	csCold, _ := e.colState("R", "cold")
+	csCold.mu.Lock()
+	built := csCold.sorted != nil
+	csCold.mu.Unlock()
+	if !built {
+		t.Fatal("cold column never indexed")
+	}
+	// Many epochs of "hot" queries only; cold's index must eventually drop
+	// (DropAfterEpochs defaults to 20).
+	for i := 0; i < 10*25; i++ {
+		if _, err := e.Select("R", "hot", 0, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	csCold.mu.Lock()
+	stillBuilt := csCold.sorted != nil
+	csCold.mu.Unlock()
+	if stillBuilt {
+		t.Fatal("unused index never dropped")
+	}
+}
+
+// TestOnlineIdleForceReview: during idle time the online strategy can run
+// its review early and build indexes outside any query's critical path.
+func TestOnlineIdleForceReview(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 56))
+	vals := randomVals(rng, 400000, 1<<20)
+	e := newEngineWithData(t, Config{Strategy: StrategyOnline, OnlineEpoch: 1000}, vals)
+	defer e.Close()
+	// A few scans, far from the epoch boundary.
+	for i := 0; i < 30; i++ {
+		if _, err := e.Select("R", "A", 0, 5000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	actions, _ := e.IdleActions(1)
+	if actions != 1 {
+		t.Fatalf("idle review built %d indexes, want 1", actions)
+	}
+	cs, _ := e.colState("R", "A")
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.sorted == nil {
+		t.Fatal("forced review did not build")
+	}
+}
+
+func TestRadixBuildMatchesComparisonBuild(t *testing.T) {
+	rng := rand.New(rand.NewPCG(57, 58))
+	vals := randomVals(rng, 100000, 1<<30)
+	queries := make([][2]int64, 50)
+	for i := range queries {
+		lo := rng.Int64N(1 << 30)
+		queries[i] = [2]int64{lo, lo + 1<<22}
+	}
+	run := func(radix bool) []Result {
+		e := newEngineWithData(t, Config{Strategy: StrategyOffline, RadixBuild: radix}, vals)
+		defer e.Close()
+		if _, err := e.BuildFullIndex("R", "A"); err != nil {
+			t.Fatal(err)
+		}
+		var out []Result
+		for _, q := range queries {
+			r, err := e.Select("R", "A", q[0], q[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i].Count != b[i].Count || a[i].Sum != b[i].Sum {
+			t.Fatalf("q%d: comparison %d/%d vs radix %d/%d",
+				i, a[i].Count, a[i].Sum, b[i].Count, b[i].Sum)
+		}
+	}
+}

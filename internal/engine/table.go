@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"holistic/internal/column"
+	"holistic/internal/cracker"
+	"holistic/internal/scan"
+	"holistic/internal/sortindex"
+	"holistic/internal/stochastic"
+	"holistic/internal/updates"
+)
+
+// Table is a collection of equal-length integer columns.
+type Table struct {
+	name string
+	eng  *Engine
+
+	mu    sync.RWMutex
+	cols  map[string]*colState
+	order []string // column order for row-wise operations
+	rows  int      // total rows ever inserted (including deleted)
+	live  int      // live (non-deleted) rows
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the column names in creation order.
+func (t *Table) Columns() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]string(nil), t.order...)
+}
+
+// Rows returns the number of live rows.
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// colState is one column plus its physical design structures. It implements
+// core.Column so the holistic tuner can refine it directly.
+type colState struct {
+	name string // qualified "table.column"
+	eng  *Engine
+
+	mu       sync.Mutex
+	col      *column.Column
+	crack    *cracker.Index
+	selector *stochastic.Selector // non-nil iff crack != nil and variant != Plain
+	sorted   *sortindex.Index
+	pending  updates.Pending
+	deleted  []bool // tombstones, consulted by the scan path
+	nDeleted int
+}
+
+// Name implements core.Column.
+func (cs *colState) Name() string { return cs.name }
+
+// Lock implements core.Column.
+func (cs *colState) Lock() { cs.mu.Lock() }
+
+// Unlock implements core.Column.
+func (cs *colState) Unlock() { cs.mu.Unlock() }
+
+// CrackIndex implements core.Column: it returns the column's cracker index,
+// materialising the cracked copy on first use. Callers hold cs.mu.
+func (cs *colState) CrackIndex() *cracker.Index {
+	return cs.crackIndexLocked()
+}
+
+func (cs *colState) crackIndexLocked() *cracker.Index {
+	if cs.crack == nil {
+		vals, rows := cs.liveSnapshotLocked()
+		cs.crack = cracker.New(vals, rows)
+		if v := cs.eng.cfg.Stochastic; v != stochastic.Plain {
+			seed := cs.eng.cfg.Seed ^ hashName(cs.name)
+			rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+			cs.selector = stochastic.NewSelector(cs.crack, v, cs.eng.cfg.StochasticThreshold, rng)
+		}
+	}
+	return cs.crack
+}
+
+// liveSnapshotLocked copies the live rows (skipping tombstones) with their
+// base row ids.
+func (cs *colState) liveSnapshotLocked() ([]int64, []uint32) {
+	if cs.nDeleted == 0 {
+		return cs.col.Snapshot()
+	}
+	n := cs.col.Len() - cs.nDeleted
+	vals := make([]int64, 0, n)
+	rows := make([]uint32, 0, n)
+	for i := 0; i < cs.col.Len(); i++ {
+		if !cs.deleted[i] {
+			vals = append(vals, cs.col.Get(i))
+			rows = append(rows, uint32(i))
+		}
+	}
+	return vals, rows
+}
+
+// buildSortedLocked (re)builds the full sorted index from live rows. The
+// engine defaults to a comparison sort, the cost profile of the paper's
+// MonetDB build; Config.RadixBuild selects the faster radix sort instead.
+func (cs *colState) buildSortedLocked() {
+	vals, rows := cs.liveSnapshotLocked()
+	if cs.eng.cfg.RadixBuild {
+		cs.sorted = sortindex.Build(vals, rows)
+	} else {
+		cs.sorted = sortindex.BuildComparison(vals, rows)
+	}
+}
+
+// scanLocked answers [lo, hi) with a full scan, honouring tombstones.
+func (cs *colState) scanLocked(lo, hi int64) (int, int64) {
+	if cs.nDeleted == 0 {
+		return scan.CountSum(cs.col.Values(), lo, hi)
+	}
+	count, sum := 0, int64(0)
+	vals := cs.col.Values()
+	for i, v := range vals {
+		if !cs.deleted[i] && v >= lo && v < hi {
+			count++
+			sum += v
+		}
+	}
+	return count, sum
+}
+
+// hashName is FNV-1a over the column name, used to derive per-column seeds.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// AddColumnFromSlice adds a column populated with vals (adopted, not
+// copied). The length must match the table's existing columns. The column
+// is registered with the strategy's monitoring machinery.
+func (t *Table) AddColumnFromSlice(name string, vals []int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.cols[name]; ok {
+		return fmt.Errorf("%w: %s.%s", ErrColumnExists, t.name, name)
+	}
+	if len(t.order) > 0 && len(vals) != t.rows {
+		return fmt.Errorf("%w: %s.%s has %d values, table has %d rows",
+			ErrLengthMismatch, t.name, name, len(vals), t.rows)
+	}
+	col, err := column.FromSlice(name, vals)
+	if err != nil {
+		return err
+	}
+	cs := &colState{
+		name:    t.name + "." + name,
+		eng:     t.eng,
+		col:     col,
+		deleted: make([]bool, len(vals)),
+	}
+	t.cols[name] = cs
+	t.order = append(t.order, name)
+	if len(t.order) == 1 {
+		t.rows = len(vals)
+		t.live = len(vals)
+	}
+	// Register with the strategy's machinery.
+	switch t.eng.cfg.Strategy {
+	case StrategyOnline:
+		t.eng.advisor.Register(cs.name, len(vals))
+	case StrategyHolistic:
+		lo, hi, ok := col.MinMax()
+		if !ok {
+			lo, hi = 0, 1
+		}
+		t.eng.tuner.Register(cs, lo, hi)
+	}
+	return nil
+}
+
+// column resolves a column by bare name.
+func (t *Table) column(name string) (*colState, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cs, ok := t.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, name)
+	}
+	return cs, nil
+}
+
+// InsertRow appends one row; vals must follow column creation order. It
+// returns the new row id. Index structures absorb the insert per their
+// nature: sorted indexes immediately (O(n) maintenance), cracker indexes
+// via the pending buffer (merged into queried ranges on demand).
+func (t *Table) InsertRow(vals ...int64) (uint32, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(vals) != len(t.order) {
+		return 0, fmt.Errorf("%w: insert of %d values into %d columns",
+			ErrLengthMismatch, len(vals), len(t.order))
+	}
+	row := uint32(t.rows)
+	for i, name := range t.order {
+		cs := t.cols[name]
+		cs.mu.Lock()
+		if _, err := cs.col.Append(vals[i]); err != nil {
+			cs.mu.Unlock()
+			return 0, err
+		}
+		cs.deleted = append(cs.deleted, false)
+		if cs.sorted != nil {
+			cs.sorted.Insert(vals[i], row)
+		}
+		if cs.crack != nil {
+			cs.pending.Insert(vals[i], row)
+		}
+		cs.mu.Unlock()
+	}
+	t.rows++
+	t.live++
+	return row, nil
+}
+
+// DeleteWhere removes the first live row whose column `col` equals value.
+// It reports whether a row was deleted. All columns' index structures drop
+// the row: sorted indexes immediately, cracker indexes via pending deletes.
+func (t *Table) DeleteWhere(col string, value int64) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cs, ok := t.cols[col]
+	if !ok {
+		return false, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, col)
+	}
+	// Locate a live matching row.
+	cs.mu.Lock()
+	row := -1
+	vals := cs.col.Values()
+	for i, v := range vals {
+		if v == value && !cs.deleted[i] {
+			row = i
+			break
+		}
+	}
+	cs.mu.Unlock()
+	if row < 0 {
+		return false, nil
+	}
+	for _, name := range t.order {
+		c := t.cols[name]
+		c.mu.Lock()
+		v := c.col.Get(row)
+		c.deleted[row] = true
+		c.nDeleted++
+		if c.sorted != nil {
+			c.sorted.DeleteRow(v, uint32(row))
+		}
+		if c.crack != nil {
+			c.pending.Delete(v, uint32(row))
+		}
+		c.mu.Unlock()
+	}
+	t.live--
+	return true, nil
+}

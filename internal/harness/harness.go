@@ -1,0 +1,74 @@
+// Package harness runs the paper's experiments end to end: it generates the
+// data and query workloads, drives engines under each indexing strategy with
+// the paper's idle-time protocol, records per-query response times, verifies
+// that every strategy returns identical results, and renders the series as
+// paper-style cumulative curves (ASCII/CSV) and tables.
+//
+// Accounting follows the paper exactly: "idle time" is the measured wall
+// time of refinement work executed outside any query's critical path; query-
+// visible time is everything a query had to wait for, including the
+// remainder of an offline index build that idle time did not cover.
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// Series is one strategy's per-query timing trace.
+type Series struct {
+	Name     string
+	PerQuery []time.Duration
+	// Extra carries named side measurements in seconds (e.g. "t_init",
+	// "t_sort", "idle_total").
+	Extra map[string]float64
+}
+
+// SetExtra records a named side measurement in seconds.
+func (s *Series) SetExtra(name string, seconds float64) {
+	if s.Extra == nil {
+		s.Extra = map[string]float64{}
+	}
+	s.Extra[name] = seconds
+}
+
+// Cumulative returns the running sum of per-query times — the y-axis of the
+// paper's figures.
+func (s *Series) Cumulative() []time.Duration {
+	out := make([]time.Duration, len(s.PerQuery))
+	var sum time.Duration
+	for i, d := range s.PerQuery {
+		sum += d
+		out[i] = sum
+	}
+	return out
+}
+
+// Total returns the query-visible total time (the last cumulative point).
+func (s *Series) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range s.PerQuery {
+		sum += d
+	}
+	return sum
+}
+
+// checksum pairs the count and sum a query returned, for cross-strategy
+// verification.
+type checksum struct {
+	count int
+	sum   int64
+}
+
+// verifyAgainst compares two strategies' checksums query by query.
+func verifyAgainst(expected []checksum, got []checksum, name string) error {
+	if len(expected) != len(got) {
+		return fmt.Errorf("harness: %s answered %d queries, want %d", name, len(got), len(expected))
+	}
+	for i := range expected {
+		if expected[i] != got[i] {
+			return fmt.Errorf("harness: %s diverged on query %d: %+v != %+v", name, i, got[i], expected[i])
+		}
+	}
+	return nil
+}

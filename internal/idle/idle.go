@@ -1,0 +1,178 @@
+// Package idle implements idle-time detection and budgeted tuning work, the
+// scheduling substrate of holistic indexing. The paper's defining move is to
+// exploit "any idle time as it appears" by spending it on small, preemptible
+// index refinement actions. A Runner wraps a step function — one refinement
+// action — and drives it in two modes:
+//
+//   - Manual: RunActions(n) executes a bounded burst synchronously. This is
+//     the paper's own experimental protocol ("we artificially induce and
+//     control idle time ... as the time needed to apply X random index
+//     refinement actions") and what the benchmark harness uses.
+//   - Automatic: Start launches a background goroutine that watches query
+//     activity; after a configurable quiet period it runs actions in small
+//     quanta, backing off the moment a query begins so that tuning work
+//     never sits in a query's critical path.
+package idle
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultQuiet is the quiet period after the last query before the automatic
+// runner considers the system idle.
+const DefaultQuiet = 10 * time.Millisecond
+
+// DefaultQuantum is how many actions the automatic runner performs per
+// wakeup before re-checking for activity.
+const DefaultQuantum = 16
+
+// Runner schedules tuning actions into idle time. All methods are safe for
+// concurrent use.
+type Runner struct {
+	step    func() bool // one tuning action; false = nothing left to do
+	quiet   time.Duration
+	quantum int
+
+	active  atomic.Int64 // in-flight queries
+	lastEnd atomic.Int64 // UnixNano of last query completion
+	actions atomic.Int64 // total actions executed
+	stopped atomic.Bool
+
+	mu     sync.Mutex // guards start/stop state
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithQuiet sets the idle-detection quiet period for automatic mode.
+func WithQuiet(d time.Duration) Option {
+	return func(r *Runner) {
+		if d > 0 {
+			r.quiet = d
+		}
+	}
+}
+
+// WithQuantum sets the actions-per-wakeup burst size for automatic mode.
+func WithQuantum(n int) Option {
+	return func(r *Runner) {
+		if n > 0 {
+			r.quantum = n
+		}
+	}
+}
+
+// NewRunner wraps one tuning step. The step function must be safe to call
+// from the runner's goroutine: it takes whatever latches it needs itself.
+func NewRunner(step func() bool, opts ...Option) *Runner {
+	r := &Runner{step: step, quiet: DefaultQuiet, quantum: DefaultQuantum}
+	for _, o := range opts {
+		o(r)
+	}
+	r.lastEnd.Store(time.Now().UnixNano())
+	return r
+}
+
+// QueryBegin tells the runner a query entered the system. The automatic
+// runner finishes its current action and then yields.
+func (r *Runner) QueryBegin() { r.active.Add(1) }
+
+// QueryEnd tells the runner a query completed, restarting the quiet clock.
+func (r *Runner) QueryEnd() {
+	r.lastEnd.Store(time.Now().UnixNano())
+	r.active.Add(-1)
+}
+
+// Actions returns the total number of tuning actions executed so far (both
+// manual and automatic).
+func (r *Runner) Actions() int64 { return r.actions.Load() }
+
+// RunActions synchronously executes up to n tuning actions, stopping early
+// if the step function reports exhaustion or a query becomes active. It
+// returns the number of actions actually executed. This is the manual idle
+// injection the experiments use.
+func (r *Runner) RunActions(n int) int {
+	done := 0
+	for i := 0; i < n; i++ {
+		if r.active.Load() > 0 {
+			break
+		}
+		if !r.step() {
+			break
+		}
+		done++
+	}
+	r.actions.Add(int64(done))
+	return done
+}
+
+// idleNow reports whether the system has been quiet long enough.
+func (r *Runner) idleNow() bool {
+	if r.active.Load() > 0 {
+		return false
+	}
+	last := time.Unix(0, r.lastEnd.Load())
+	return time.Since(last) >= r.quiet
+}
+
+// Start launches the automatic idle worker. It is a no-op if already
+// running.
+func (r *Runner) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopCh != nil {
+		return
+	}
+	r.stopped.Store(false)
+	r.stopCh = make(chan struct{})
+	r.wg.Add(1)
+	go r.loop(r.stopCh)
+}
+
+// Stop halts the automatic idle worker and waits for it to exit. Manual
+// RunActions remains available. It is a no-op if not running.
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	ch := r.stopCh
+	r.stopCh = nil
+	r.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	r.stopped.Store(true)
+	close(ch)
+	r.wg.Wait()
+}
+
+func (r *Runner) loop(stop <-chan struct{}) {
+	defer r.wg.Done()
+	tick := r.quiet / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	timer := time.NewTicker(tick)
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+			if !r.idleNow() {
+				continue
+			}
+			for i := 0; i < r.quantum; i++ {
+				if r.stopped.Load() || r.active.Load() > 0 {
+					break
+				}
+				if !r.step() {
+					break
+				}
+				r.actions.Add(1)
+			}
+		}
+	}
+}

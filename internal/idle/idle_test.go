@@ -1,0 +1,136 @@
+package idle
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunActionsBounded(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true })
+	if got := r.RunActions(25); got != 25 {
+		t.Fatalf("ran %d actions", got)
+	}
+	if calls.Load() != 25 || r.Actions() != 25 {
+		t.Fatalf("calls=%d actions=%d", calls.Load(), r.Actions())
+	}
+}
+
+func TestRunActionsStopsOnExhaustion(t *testing.T) {
+	left := 7
+	r := NewRunner(func() bool {
+		if left == 0 {
+			return false
+		}
+		left--
+		return true
+	})
+	if got := r.RunActions(100); got != 7 {
+		t.Fatalf("ran %d actions, want 7", got)
+	}
+}
+
+func TestRunActionsPreemptedByActiveQuery(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true })
+	r.QueryBegin()
+	if got := r.RunActions(50); got != 0 {
+		t.Fatalf("ran %d actions while query active", got)
+	}
+	r.QueryEnd()
+	if got := r.RunActions(5); got != 5 {
+		t.Fatalf("ran %d actions after query end", got)
+	}
+}
+
+func TestAutomaticRunsWhenQuiet(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true },
+		WithQuiet(2*time.Millisecond), WithQuantum(8))
+	r.Start()
+	defer r.Stop()
+	deadline := time.After(2 * time.Second)
+	for calls.Load() < 8 {
+		select {
+		case <-deadline:
+			t.Fatalf("automatic runner executed only %d actions", calls.Load())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestAutomaticYieldsToQueries(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true },
+		WithQuiet(time.Millisecond), WithQuantum(4))
+	r.QueryBegin() // system busy before the worker even starts
+	r.Start()
+	defer r.Stop()
+	time.Sleep(20 * time.Millisecond)
+	if calls.Load() != 0 {
+		t.Fatalf("worker ran %d actions while a query was active", calls.Load())
+	}
+	r.QueryEnd()
+	deadline := time.After(2 * time.Second)
+	for calls.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("worker never resumed after query end")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	r := NewRunner(func() bool { return true }, WithQuiet(time.Millisecond))
+	r.Start()
+	r.Start() // second start is a no-op
+	r.Stop()
+	r.Stop() // second stop is a no-op
+	// Restart works.
+	r.Start()
+	r.Stop()
+}
+
+func TestStopHaltsWork(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true },
+		WithQuiet(time.Millisecond), WithQuantum(4))
+	r.Start()
+	deadline := time.After(2 * time.Second)
+	for calls.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("worker never started")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	r.Stop()
+	after := calls.Load()
+	time.Sleep(10 * time.Millisecond)
+	if calls.Load() != after {
+		t.Fatalf("worker kept running after Stop: %d -> %d", after, calls.Load())
+	}
+}
+
+func TestManualWhileAutomaticRunning(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true },
+		WithQuiet(time.Hour)) // automatic effectively never fires
+	r.Start()
+	defer r.Stop()
+	if got := r.RunActions(10); got != 10 {
+		t.Fatalf("manual actions under automatic mode: %d", got)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	r := NewRunner(func() bool { return true }, WithQuiet(-1), WithQuantum(0))
+	if r.quiet != DefaultQuiet || r.quantum != DefaultQuantum {
+		t.Fatalf("invalid options accepted: quiet=%v quantum=%d", r.quiet, r.quantum)
+	}
+}

@@ -1,0 +1,59 @@
+// Package scan implements the plain select operator: a full pass over an
+// unindexed column evaluating a range predicate. This is the no-indexing
+// baseline of the paper ("Scan" in Figure 3 and Table 2) and the operator
+// every strategy falls back to for columns without any physical design.
+package scan
+
+// CountSum returns the number and sum of values v with lo <= v < hi.
+// The inner loop is written without branches on the hot path so the compiler
+// can keep it tight; the sum doubles as a projection checksum so results can
+// be compared across select operator implementations.
+func CountSum(vals []int64, lo, hi int64) (count int, sum int64) {
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			count++
+			sum += v
+		}
+	}
+	return count, sum
+}
+
+// Count returns only the cardinality of the range predicate.
+func Count(vals []int64, lo, hi int64) int {
+	n := 0
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// Positions appends the row ids (positions in vals) of qualifying values to
+// out and returns it. It is the candidate-list producing variant used for
+// multi-predicate plans.
+func Positions(vals []int64, lo, hi int64, out []uint32) []uint32 {
+	for i, v := range vals {
+		if v >= lo && v < hi {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// MinMax returns the smallest and largest value. Ok is false for empty input.
+func MinMax(vals []int64) (lo, hi int64, ok bool) {
+	if len(vals) == 0 {
+		return 0, 0, false
+	}
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, true
+}

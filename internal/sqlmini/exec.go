@@ -1,0 +1,56 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"holistic/internal/engine"
+)
+
+// Exec parses and executes one statement against the engine, returning a
+// human-readable result line.
+func Exec(e *engine.Engine, input string) (string, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return "", err
+	}
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		res, err := e.Select(s.Table, s.Column, s.Lo, s.Hi)
+		if err != nil {
+			return "", err
+		}
+		switch s.Agg {
+		case AggCount:
+			return fmt.Sprintf("count=%d (%v)", res.Count, res.Elapsed), nil
+		case AggSum:
+			return fmt.Sprintf("sum=%d (%v)", res.Sum, res.Elapsed), nil
+		default:
+			return fmt.Sprintf("count=%d sum=%d (%v)", res.Count, res.Sum, res.Elapsed), nil
+		}
+	case *InsertStmt:
+		tab, err := e.Table(s.Table)
+		if err != nil {
+			return "", err
+		}
+		row, err := tab.InsertRow(s.Values...)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("inserted row %d", row), nil
+	case *DeleteStmt:
+		tab, err := e.Table(s.Table)
+		if err != nil {
+			return "", err
+		}
+		ok, err := tab.DeleteWhere(s.Column, s.Value)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return "no row matched", nil
+		}
+		return "deleted 1 row", nil
+	default:
+		return "", fmt.Errorf("sqlmini: unhandled statement %T", stmt)
+	}
+}

@@ -1,0 +1,82 @@
+// Package sqlmini implements a small SQL front end for the kernel, covering
+// exactly the statement shapes the paper's workloads use:
+//
+//	SELECT Ai FROM R WHERE Ai >= low AND Ai < high;
+//	SELECT COUNT(*) FROM R WHERE A BETWEEN 10 AND 20;
+//	SELECT SUM(A) FROM R WHERE A > 5;
+//	INSERT INTO R VALUES (1, 2, 3);
+//	DELETE FROM R WHERE A = 7;
+//
+// Predicates compile to the kernel's half-open range [Lo, Hi); >, <=, =,
+// and BETWEEN are rewritten into it. The executor bridges parsed statements
+// to an engine.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // ( ) , ; *
+	tokOp    // comparison operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords/idents are lower-cased
+	raw  string // original spelling (for error messages / identifiers)
+	pos  int
+}
+
+// lex splits the input into tokens. Identifiers keep their raw spelling in
+// raw; text holds the lower-cased form used for keyword matching.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_' || input[i] == '.') {
+				i++
+			}
+			raw := input[start:i]
+			toks = append(toks, token{kind: tokIdent, text: strings.ToLower(raw), raw: raw, pos: start})
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			i++
+			for i < n && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], raw: input[start:i], pos: start})
+		case c == '>' || c == '<':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			}
+			toks = append(toks, token{kind: tokOp, text: input[start:i], raw: input[start:i], pos: start})
+		case c == '=':
+			toks = append(toks, token{kind: tokOp, text: "=", raw: "=", pos: i})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '*':
+			toks = append(toks, token{kind: tokPunct, text: string(c), raw: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlmini: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,345 @@
+package sqlmini
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Stmt is a parsed statement: *SelectStmt, *InsertStmt or *DeleteStmt.
+type Stmt interface{ stmt() }
+
+// Aggregate selects what a SELECT projects.
+type Aggregate int
+
+// Projection kinds.
+const (
+	AggValues Aggregate = iota // SELECT col — count and sum reported
+	AggCount                   // SELECT COUNT(*)
+	AggSum                     // SELECT SUM(col)
+)
+
+// SelectStmt is a range select compiled to the kernel's half-open interval.
+type SelectStmt struct {
+	Table  string
+	Column string
+	Lo, Hi int64
+	Agg    Aggregate
+}
+
+func (*SelectStmt) stmt() {}
+
+// InsertStmt appends one row.
+type InsertStmt struct {
+	Table  string
+	Values []int64
+}
+
+func (*InsertStmt) stmt() {}
+
+// DeleteStmt deletes the first row whose column equals Value.
+type DeleteStmt struct {
+	Table  string
+	Column string
+	Value  int64
+}
+
+func (*DeleteStmt) stmt() {}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectIdent(keyword string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != keyword {
+		return fmt.Errorf("sqlmini: expected %q at position %d, got %q", keyword, t.pos, t.raw)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("sqlmini: expected %q at position %d, got %q", s, t.pos, t.raw)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlmini: expected identifier at position %d, got %q", t.pos, t.raw)
+	}
+	return t.raw, nil
+}
+
+func (p *parser) number() (int64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("sqlmini: expected number at position %d, got %q", t.pos, t.raw)
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sqlmini: bad number %q: %w", t.raw, err)
+	}
+	return v, nil
+}
+
+// Parse parses one statement, tolerating a trailing semicolon.
+func Parse(input string) (Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("sqlmini: expected statement, got %q", t.raw)
+	}
+	var s Stmt
+	switch t.text {
+	case "select":
+		s, err = p.parseSelect()
+	case "insert":
+		s, err = p.parseInsert()
+	case "delete":
+		s, err = p.parseDelete()
+	default:
+		return nil, fmt.Errorf("sqlmini: unsupported statement %q", t.raw)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokPunct && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlmini: trailing input at position %d: %q", p.peek().pos, p.peek().raw)
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	p.next() // SELECT
+	sel := &SelectStmt{Lo: math.MinInt64, Hi: math.MaxInt64}
+	t := p.next()
+	switch {
+	case t.kind == tokIdent && t.text == "count":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		sel.Agg = AggCount
+	case t.kind == tokIdent && t.text == "sum":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		sel.Agg = AggSum
+		sel.Column = col
+	case t.kind == tokIdent:
+		sel.Column = t.raw
+	default:
+		return nil, fmt.Errorf("sqlmini: expected projection at position %d, got %q", t.pos, t.raw)
+	}
+	if err := p.expectIdent("from"); err != nil {
+		return nil, err
+	}
+	tab, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = tab
+	if p.peek().kind == tokIdent && p.peek().text == "where" {
+		p.next()
+		if err := p.parseWhere(sel); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Column == "" {
+		return nil, fmt.Errorf("sqlmini: COUNT(*) needs a WHERE clause naming the column")
+	}
+	return sel, nil
+}
+
+// parseWhere handles: col op n [AND col op n] | col BETWEEN a AND b.
+// All comparisons must reference the same column (single-column kernel
+// queries, as in the paper).
+func (p *parser) parseWhere(sel *SelectStmt) error {
+	col, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if sel.Column == "" {
+		sel.Column = col
+	} else if sel.Column != col {
+		return fmt.Errorf("sqlmini: predicate on %q but projection on %q", col, sel.Column)
+	}
+	if p.peek().kind == tokIdent && p.peek().text == "between" {
+		p.next()
+		a, err := p.number()
+		if err != nil {
+			return err
+		}
+		if err := p.expectIdent("and"); err != nil {
+			return err
+		}
+		b, err := p.number()
+		if err != nil {
+			return err
+		}
+		sel.Lo, sel.Hi = a, addSat(b, 1) // SQL BETWEEN is inclusive
+		return nil
+	}
+	if err := p.applyComparison(sel, col); err != nil {
+		return err
+	}
+	for p.peek().kind == tokIdent && p.peek().text == "and" {
+		p.next()
+		c2, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if c2 != col {
+			return fmt.Errorf("sqlmini: multi-column predicates not supported (%q vs %q)", c2, col)
+		}
+		if err := p.applyComparison(sel, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyComparison folds one `col op n` term into the select's [Lo, Hi).
+func (p *parser) applyComparison(sel *SelectStmt, col string) error {
+	t := p.next()
+	if t.kind != tokOp {
+		return fmt.Errorf("sqlmini: expected comparison at position %d, got %q", t.pos, t.raw)
+	}
+	n, err := p.number()
+	if err != nil {
+		return err
+	}
+	switch t.text {
+	case ">=":
+		sel.Lo = maxI(sel.Lo, n)
+	case ">":
+		sel.Lo = maxI(sel.Lo, addSat(n, 1))
+	case "<":
+		sel.Hi = minI(sel.Hi, n)
+	case "<=":
+		sel.Hi = minI(sel.Hi, addSat(n, 1))
+	case "=":
+		sel.Lo = maxI(sel.Lo, n)
+		sel.Hi = minI(sel.Hi, addSat(n, 1))
+	default:
+		return fmt.Errorf("sqlmini: unsupported operator %q", t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	p.next() // INSERT
+	if err := p.expectIdent("into"); err != nil {
+		return nil, err
+	}
+	tab, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("values"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: tab}
+	for {
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		ins.Values = append(ins.Values, v)
+		t := p.next()
+		if t.kind == tokPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tokPunct && t.text == ")" {
+			break
+		}
+		return nil, fmt.Errorf("sqlmini: expected ',' or ')' at position %d, got %q", t.pos, t.raw)
+	}
+	return ins, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	p.next() // DELETE
+	if err := p.expectIdent("from"); err != nil {
+		return nil, err
+	}
+	tab, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("where"); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokOp || t.text != "=" {
+		return nil, fmt.Errorf("sqlmini: DELETE supports only equality, got %q", t.raw)
+	}
+	v, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	return &DeleteStmt{Table: tab, Column: col, Value: v}, nil
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// addSat adds with saturation at the int64 maximum.
+func addSat(a, b int64) int64 {
+	if a > 0 && b > math.MaxInt64-a {
+		return math.MaxInt64
+	}
+	return a + b
+}

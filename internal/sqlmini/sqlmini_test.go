@@ -1,0 +1,172 @@
+package sqlmini
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"holistic/internal/engine"
+)
+
+func parseSelect(t *testing.T, in string) *SelectStmt {
+	t.Helper()
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", in, err)
+	}
+	sel, ok := s.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T", in, s)
+	}
+	return sel
+}
+
+func TestParsePaperTemplate(t *testing.T) {
+	sel := parseSelect(t, "select A1 from R where A1 >= 10 and A1 < 20;")
+	if sel.Table != "R" || sel.Column != "A1" || sel.Lo != 10 || sel.Hi != 20 || sel.Agg != AggValues {
+		t.Fatalf("parsed %+v", sel)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := []struct {
+		in     string
+		lo, hi int64
+	}{
+		{"select A from R where A > 10 and A <= 20", 11, 21},
+		{"select A from R where A = 7", 7, 8},
+		{"select A from R where A between 3 and 9", 3, 10},
+		{"select A from R where A >= 5", 5, math.MaxInt64},
+		{"select A from R where A < 5", math.MinInt64, 5},
+		{"select A from R", math.MinInt64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		sel := parseSelect(t, c.in)
+		if sel.Lo != c.lo || sel.Hi != c.hi {
+			t.Errorf("%q: [%d,%d) want [%d,%d)", c.in, sel.Lo, sel.Hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := parseSelect(t, "SELECT COUNT(*) FROM R WHERE A >= 1 AND A < 2")
+	if sel.Agg != AggCount || sel.Column != "A" {
+		t.Fatalf("%+v", sel)
+	}
+	sel = parseSelect(t, "select sum(B) from R where B < 100")
+	if sel.Agg != AggSum || sel.Column != "B" {
+		t.Fatalf("%+v", sel)
+	}
+}
+
+func TestParseCaseInsensitiveKeywordsPreserveIdents(t *testing.T) {
+	sel := parseSelect(t, "SeLeCt MyCol FrOm MyTab WhErE MyCol >= 1")
+	if sel.Column != "MyCol" || sel.Table != "MyTab" {
+		t.Fatalf("identifier case lost: %+v", sel)
+	}
+}
+
+func TestParseInsertDelete(t *testing.T) {
+	s, err := Parse("insert into R values (1, -2, 3);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := s.(*InsertStmt)
+	if ins.Table != "R" || len(ins.Values) != 3 || ins.Values[1] != -2 {
+		t.Fatalf("%+v", ins)
+	}
+	s, err = Parse("delete from R where A = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := s.(*DeleteStmt)
+	if del.Table != "R" || del.Column != "A" || del.Value != 5 {
+		t.Fatalf("%+v", del)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"drop table R",
+		"select from R",
+		"select A from",
+		"select A from R where",
+		"select A from R where A ~ 5",
+		"select A from R where A >= 5 and B < 10", // multi-column
+		"select A from R where B >= 5",            // predicate != projection
+		"select count(*) from R",                  // count needs a column
+		"insert into R values 1",
+		"insert into R values (1,)",
+		"delete from R where A > 5",
+		"select A from R extra",
+		"select A from R where A >= 99999999999999999999", // overflow
+		"select @ from R",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestSaturatingUpperBound(t *testing.T) {
+	sel := parseSelect(t, "select A from R where A <= 9223372036854775807")
+	if sel.Hi != math.MaxInt64 {
+		t.Fatalf("Hi = %d", sel.Hi)
+	}
+}
+
+func TestExecRoundTrip(t *testing.T) {
+	e := engine.New(engine.Config{Strategy: engine.StrategyAdaptive})
+	defer e.Close()
+	tab, _ := e.CreateTable("R")
+	if err := tab.AddColumnFromSlice("A", []int64{5, 15, 25, 35}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Exec(e, "select A from R where A >= 10 and A < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "count=2") || !strings.Contains(out, "sum=40") {
+		t.Fatalf("out = %q", out)
+	}
+	out, err = Exec(e, "select count(*) from R where A between 5 and 15")
+	if err != nil || !strings.Contains(out, "count=2") {
+		t.Fatalf("count: %q %v", out, err)
+	}
+	out, err = Exec(e, "select sum(A) from R where A > 20")
+	if err != nil || !strings.Contains(out, "sum=60") {
+		t.Fatalf("sum: %q %v", out, err)
+	}
+	if out, err = Exec(e, "insert into R values (45)"); err != nil || !strings.Contains(out, "inserted") {
+		t.Fatalf("insert: %q %v", out, err)
+	}
+	if out, err = Exec(e, "delete from R where A = 5"); err != nil || !strings.Contains(out, "deleted 1") {
+		t.Fatalf("delete: %q %v", out, err)
+	}
+	if out, _ = Exec(e, "delete from R where A = 999"); !strings.Contains(out, "no row") {
+		t.Fatalf("ghost delete: %q", out)
+	}
+	out, err = Exec(e, "select count(*) from R where A >= 0 and A < 100")
+	if err != nil || !strings.Contains(out, "count=4") {
+		t.Fatalf("final: %q %v", out, err)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	e := engine.New(engine.Config{})
+	defer e.Close()
+	if _, err := Exec(e, "select A from Ghost where A = 1"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+	if _, err := Exec(e, "not sql"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Exec(e, "insert into Ghost values (1)"); err == nil {
+		t.Fatal("insert into missing table accepted")
+	}
+	if _, err := Exec(e, "delete from Ghost where A = 1"); err == nil {
+		t.Fatal("delete from missing table accepted")
+	}
+}

@@ -1,0 +1,310 @@
+// Package stats implements continuous workload monitoring, the statistical
+// substrate holistic indexing shares with online indexing (Table 1 of the
+// paper: "statistical analysis during workload execution"). A Collector
+// tracks, per column, how often the column is queried and where in its value
+// domain predicates land, with exponential decay so that shifting workloads
+// age out stale knowledge. The holistic tuner consumes two signals:
+//
+//   - Frequency: the decayed share of recent queries touching a column,
+//     which weights the ranking scheme's "which column next?" decision;
+//   - hot ranges: histogram regions hit more than a threshold number of
+//     times, which trigger query-time auxiliary cracks (the paper's
+//     "this column and this value range is rather hot" case).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultBuckets is the number of equi-width histogram buckets per column.
+const DefaultBuckets = 64
+
+// DefaultDecay is the per-query multiplicative decay applied to all counters.
+// 0.999 halves a counter's weight roughly every 700 queries.
+const DefaultDecay = 0.999
+
+// Range is a half-open value interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int64
+}
+
+// Contains reports whether v lies in the range.
+func (r Range) Contains(v int64) bool { return v >= r.Lo && v < r.Hi }
+
+// Overlaps reports whether two ranges intersect.
+func (r Range) Overlaps(o Range) bool { return r.Lo < o.Hi && o.Lo < r.Hi }
+
+// String renders the range for diagnostics.
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// columnStats is the per-column state. All access goes through Collector's
+// lock.
+type columnStats struct {
+	domain  Range
+	width   float64 // bucket width in value units
+	queries uint64  // raw query count (never decayed)
+	decayed float64 // decayed query count
+	lastSeq uint64  // collector sequence at last touch (for lazy decay)
+	buckets []float64
+}
+
+func (cs *columnStats) catchUp(seq uint64, decay float64) {
+	if cs.lastSeq == seq {
+		return
+	}
+	f := math.Pow(decay, float64(seq-cs.lastSeq))
+	cs.decayed *= f
+	for i := range cs.buckets {
+		cs.buckets[i] *= f
+	}
+	cs.lastSeq = seq
+}
+
+func (cs *columnStats) bucketOf(v int64) int {
+	if v < cs.domain.Lo {
+		return 0
+	}
+	if v >= cs.domain.Hi {
+		return len(cs.buckets) - 1
+	}
+	b := int(float64(v-cs.domain.Lo) / cs.width)
+	if b >= len(cs.buckets) {
+		b = len(cs.buckets) - 1
+	}
+	return b
+}
+
+// bucketRange returns the value interval covered by bucket b.
+func (cs *columnStats) bucketRange(b int) Range {
+	lo := cs.domain.Lo + int64(float64(b)*cs.width)
+	hi := cs.domain.Lo + int64(float64(b+1)*cs.width)
+	if b == len(cs.buckets)-1 {
+		hi = cs.domain.Hi
+	}
+	return Range{Lo: lo, Hi: hi}
+}
+
+// Collector aggregates workload statistics across columns. It is safe for
+// concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	cols    map[string]*columnStats
+	seq     uint64
+	decay   float64
+	buckets int
+}
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithDecay sets the per-query decay factor (0 < d <= 1).
+func WithDecay(d float64) Option {
+	return func(c *Collector) {
+		if d > 0 && d <= 1 {
+			c.decay = d
+		}
+	}
+}
+
+// WithBuckets sets the histogram resolution per column.
+func WithBuckets(n int) Option {
+	return func(c *Collector) {
+		if n > 0 {
+			c.buckets = n
+		}
+	}
+}
+
+// NewCollector returns an empty collector.
+func NewCollector(opts ...Option) *Collector {
+	c := &Collector{
+		cols:    map[string]*columnStats{},
+		decay:   DefaultDecay,
+		buckets: DefaultBuckets,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Register introduces a column with its value domain. Registering an already
+// known column resets its statistics (the domain may have changed).
+func (c *Collector) Register(col string, domLo, domHi int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if domHi <= domLo {
+		domHi = domLo + 1
+	}
+	c.cols[col] = &columnStats{
+		domain:  Range{Lo: domLo, Hi: domHi},
+		width:   float64(domHi-domLo) / float64(c.buckets),
+		buckets: make([]float64, c.buckets),
+		lastSeq: c.seq,
+	}
+}
+
+// Registered reports whether the column is known.
+func (c *Collector) Registered(col string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.cols[col]
+	return ok
+}
+
+// RecordQuery notes a range query [lo, hi) against a column. Queries against
+// unregistered columns are ignored (the caller registers on table creation).
+func (c *Collector) RecordQuery(col string, lo, hi int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	cs, ok := c.cols[col]
+	if !ok {
+		return
+	}
+	cs.catchUp(c.seq, c.decay)
+	cs.queries++
+	cs.decayed++
+	if lo >= hi {
+		return
+	}
+	b0 := cs.bucketOf(lo)
+	b1 := cs.bucketOf(hi - 1)
+	for b := b0; b <= b1; b++ {
+		cs.buckets[b]++
+	}
+}
+
+// Queries returns the raw (undecayed) query count for a column.
+func (c *Collector) Queries(col string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cs, ok := c.cols[col]; ok {
+		return cs.queries
+	}
+	return 0
+}
+
+// Seq returns the global query sequence number.
+func (c *Collector) Seq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
+}
+
+// Frequency returns the column's decayed query count normalised by the total
+// across all registered columns — a value in [0, 1] once any query has been
+// seen. With no recorded queries at all it returns equal shares, the
+// "no workload knowledge" prior that makes the tuner spread actions round-
+// robin across the catalog.
+func (c *Collector) Frequency(col string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := c.cols[col]
+	if !ok {
+		return 0
+	}
+	cs.catchUp(c.seq, c.decay)
+	total := 0.0
+	for _, other := range c.cols {
+		other.catchUp(c.seq, c.decay)
+		total += other.decayed
+	}
+	if total < 1e-9 {
+		return 1 / float64(len(c.cols))
+	}
+	return cs.decayed / total
+}
+
+// HotRange describes a histogram bucket whose decayed hit count crossed a
+// threshold.
+type HotRange struct {
+	Range Range
+	Hits  float64
+}
+
+// HotRanges returns up to k histogram buckets of the column with decayed hit
+// counts >= threshold, hottest first.
+func (c *Collector) HotRanges(col string, threshold float64, k int) []HotRange {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := c.cols[col]
+	if !ok {
+		return nil
+	}
+	cs.catchUp(c.seq, c.decay)
+	var out []HotRange
+	for b, hits := range cs.buckets {
+		if hits >= threshold {
+			out = append(out, HotRange{Range: cs.bucketRange(b), Hits: hits})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hits > out[j].Hits })
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// IsHot reports whether any histogram bucket overlapping [lo, hi) has a
+// decayed hit count >= threshold. The holistic tuner uses it to decide
+// query-time auxiliary cracks.
+func (c *Collector) IsHot(col string, lo, hi int64, threshold float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := c.cols[col]
+	if !ok || lo >= hi {
+		return false
+	}
+	cs.catchUp(c.seq, c.decay)
+	b0 := cs.bucketOf(lo)
+	b1 := cs.bucketOf(hi - 1)
+	for b := b0; b <= b1; b++ {
+		if cs.buckets[b] >= threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary is a point-in-time snapshot of one column's statistics.
+type Summary struct {
+	Column    string
+	Domain    Range
+	Queries   uint64
+	Decayed   float64
+	Frequency float64
+}
+
+// Snapshot returns summaries for all registered columns, sorted by column
+// name for deterministic output.
+func (c *Collector) Snapshot() []Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0.0
+	for _, cs := range c.cols {
+		cs.catchUp(c.seq, c.decay)
+		total += cs.decayed
+	}
+	out := make([]Summary, 0, len(c.cols))
+	for name, cs := range c.cols {
+		f := 0.0
+		if total >= 1e-9 {
+			f = cs.decayed / total
+		} else if len(c.cols) > 0 {
+			f = 1 / float64(len(c.cols))
+		}
+		out = append(out, Summary{
+			Column:    name,
+			Domain:    cs.domain,
+			Queries:   cs.queries,
+			Decayed:   cs.decayed,
+			Frequency: f,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Column < out[j].Column })
+	return out
+}

@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeHelpers(t *testing.T) {
+	r := Range{10, 20}
+	if !r.Contains(10) || r.Contains(20) || r.Contains(9) {
+		t.Fatal("Contains wrong at boundaries")
+	}
+	if !r.Overlaps(Range{19, 25}) || r.Overlaps(Range{20, 25}) || r.Overlaps(Range{0, 10}) {
+		t.Fatal("Overlaps wrong at boundaries")
+	}
+	if r.String() != "[10,20)" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestUnregisteredColumn(t *testing.T) {
+	c := NewCollector()
+	c.RecordQuery("ghost", 0, 10) // must not panic
+	if c.Queries("ghost") != 0 {
+		t.Fatal("unregistered column accumulated queries")
+	}
+	if c.Frequency("ghost") != 0 {
+		t.Fatal("unregistered column has frequency")
+	}
+	if c.HotRanges("ghost", 1, 5) != nil {
+		t.Fatal("unregistered column has hot ranges")
+	}
+	if c.IsHot("ghost", 0, 10, 1) {
+		t.Fatal("unregistered column is hot")
+	}
+	if c.Registered("ghost") {
+		t.Fatal("ghost registered")
+	}
+}
+
+func TestQueryCounting(t *testing.T) {
+	c := NewCollector()
+	c.Register("a", 0, 1000)
+	c.Register("b", 0, 1000)
+	for i := 0; i < 30; i++ {
+		c.RecordQuery("a", 10, 20)
+	}
+	for i := 0; i < 10; i++ {
+		c.RecordQuery("b", 10, 20)
+	}
+	if c.Queries("a") != 30 || c.Queries("b") != 10 {
+		t.Fatalf("counts %d/%d", c.Queries("a"), c.Queries("b"))
+	}
+	if c.Seq() != 40 {
+		t.Fatalf("seq %d", c.Seq())
+	}
+	fa, fb := c.Frequency("a"), c.Frequency("b")
+	if fa <= fb {
+		t.Fatalf("frequency ordering wrong: %f vs %f", fa, fb)
+	}
+	if math.Abs(fa+fb-1) > 1e-9 {
+		t.Fatalf("frequencies do not sum to 1: %f", fa+fb)
+	}
+}
+
+func TestNoKnowledgePrior(t *testing.T) {
+	c := NewCollector()
+	c.Register("a", 0, 100)
+	c.Register("b", 0, 100)
+	c.Register("c", 0, 100)
+	// With zero queries, every column gets an equal share: the tuner's
+	// round-robin prior for the paper's "No Knowledge" case.
+	for _, col := range []string{"a", "b", "c"} {
+		if f := c.Frequency(col); math.Abs(f-1.0/3) > 1e-9 {
+			t.Fatalf("prior frequency of %s = %f", col, f)
+		}
+	}
+}
+
+func TestDecayShiftsFrequency(t *testing.T) {
+	c := NewCollector(WithDecay(0.9))
+	c.Register("old", 0, 100)
+	c.Register("new", 0, 100)
+	for i := 0; i < 50; i++ {
+		c.RecordQuery("old", 0, 10)
+	}
+	for i := 0; i < 50; i++ {
+		c.RecordQuery("new", 0, 10)
+	}
+	// The recent burst on "new" must dominate the equally sized old burst.
+	if c.Frequency("new") <= c.Frequency("old") {
+		t.Fatalf("decay failed: new=%f old=%f", c.Frequency("new"), c.Frequency("old"))
+	}
+}
+
+func TestHotRanges(t *testing.T) {
+	c := NewCollector(WithBuckets(10), WithDecay(1.0))
+	c.Register("a", 0, 1000) // buckets of width 100
+	for i := 0; i < 20; i++ {
+		c.RecordQuery("a", 150, 180) // bucket 1
+	}
+	c.RecordQuery("a", 850, 870) // bucket 8, once
+	hot := c.HotRanges("a", 10, 0)
+	if len(hot) != 1 {
+		t.Fatalf("hot ranges: %v", hot)
+	}
+	if hot[0].Range.Lo != 100 || hot[0].Range.Hi != 200 {
+		t.Fatalf("hot bucket %v", hot[0].Range)
+	}
+	if !c.IsHot("a", 160, 170, 10) {
+		t.Fatal("IsHot missed the hot bucket")
+	}
+	if c.IsHot("a", 850, 860, 10) {
+		t.Fatal("IsHot false positive")
+	}
+	// Query spanning hot and cold buckets counts as hot.
+	if !c.IsHot("a", 0, 1000, 10) {
+		t.Fatal("spanning query should be hot")
+	}
+}
+
+func TestHotRangesTopK(t *testing.T) {
+	c := NewCollector(WithBuckets(4), WithDecay(1.0))
+	c.Register("a", 0, 400)
+	for i := 0; i < 5; i++ {
+		c.RecordQuery("a", 0, 50)
+	}
+	for i := 0; i < 9; i++ {
+		c.RecordQuery("a", 100, 150)
+	}
+	for i := 0; i < 7; i++ {
+		c.RecordQuery("a", 200, 250)
+	}
+	hot := c.HotRanges("a", 1, 2)
+	if len(hot) != 2 {
+		t.Fatalf("top-k: %v", hot)
+	}
+	if hot[0].Hits < hot[1].Hits {
+		t.Fatal("hot ranges not sorted")
+	}
+	if hot[0].Range.Lo != 100 {
+		t.Fatalf("hottest bucket %v", hot[0].Range)
+	}
+}
+
+func TestDomainEdgeQueries(t *testing.T) {
+	c := NewCollector(WithBuckets(8))
+	c.Register("a", -100, 100)
+	// Out-of-domain predicates clamp to edge buckets without panicking.
+	c.RecordQuery("a", -1000, -150)
+	c.RecordQuery("a", 150, 1000)
+	c.RecordQuery("a", -1000, 1000)
+	if c.Queries("a") != 3 {
+		t.Fatalf("queries %d", c.Queries("a"))
+	}
+	// Degenerate predicate records the query but no bucket hits.
+	c.RecordQuery("a", 50, 50)
+	if c.Queries("a") != 4 {
+		t.Fatal("degenerate query not counted")
+	}
+}
+
+func TestRegisterResets(t *testing.T) {
+	c := NewCollector()
+	c.Register("a", 0, 100)
+	c.RecordQuery("a", 0, 10)
+	c.Register("a", 0, 200) // reset with new domain
+	if c.Queries("a") != 0 {
+		t.Fatal("re-registration kept old counts")
+	}
+	if !c.Registered("a") {
+		t.Fatal("column lost")
+	}
+}
+
+func TestSingleValueDomain(t *testing.T) {
+	c := NewCollector()
+	c.Register("a", 5, 5) // degenerate domain widened internally
+	c.RecordQuery("a", 5, 6)
+	if c.Queries("a") != 1 {
+		t.Fatal("degenerate domain broke recording")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.Register("b", 0, 10)
+	c.Register("a", 0, 10)
+	c.RecordQuery("a", 0, 5)
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap[0].Column != "a" || snap[1].Column != "b" {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+	if snap[0].Queries != 1 || snap[1].Queries != 0 {
+		t.Fatalf("snapshot counts: %+v", snap)
+	}
+	if snap[0].Frequency <= snap[1].Frequency {
+		t.Fatal("snapshot frequencies wrong")
+	}
+}
+
+func TestSnapshotNoQueriesPrior(t *testing.T) {
+	c := NewCollector()
+	c.Register("a", 0, 10)
+	c.Register("b", 0, 10)
+	snap := c.Snapshot()
+	for _, s := range snap {
+		if math.Abs(s.Frequency-0.5) > 1e-9 {
+			t.Fatalf("prior snapshot frequency %f", s.Frequency)
+		}
+	}
+}
+
+// TestPropertyFrequenciesSumToOne: for any mix of queries over registered
+// columns, frequencies always sum to ~1.
+func TestPropertyFrequenciesSumToOne(t *testing.T) {
+	f := func(hits []uint8) bool {
+		c := NewCollector()
+		names := []string{"a", "b", "c", "d"}
+		for _, n := range names {
+			c.Register(n, 0, 1000)
+		}
+		for i, h := range hits {
+			c.RecordQuery(names[int(h)%len(names)], int64(i%900), int64(i%900)+10)
+		}
+		sum := 0.0
+		for _, n := range names {
+			f := c.Frequency(n)
+			if f < 0 || f > 1 {
+				return false
+			}
+			sum += f
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecordQuery(b *testing.B) {
+	c := NewCollector()
+	c.Register("a", 0, 1<<30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i%(1<<20)) * 1000
+		c.RecordQuery("a", lo, lo+1<<20)
+	}
+}

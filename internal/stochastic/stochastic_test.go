@@ -1,0 +1,203 @@
+package stochastic
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"holistic/internal/cracker"
+)
+
+func newIndex(vals []int64) *cracker.Index {
+	v := make([]int64, len(vals))
+	copy(v, vals)
+	rows := make([]uint32, len(vals))
+	for i := range rows {
+		rows[i] = uint32(i)
+	}
+	return cracker.New(v, rows)
+}
+
+func randomVals(rng *rand.Rand, n int, domain int64) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int64N(domain)
+	}
+	return vals
+}
+
+func naiveRange(vals []int64, lo, hi int64) (int, int64) {
+	n, s := 0, int64(0)
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			n++
+			s += v
+		}
+	}
+	return n, s
+}
+
+func TestVariantString(t *testing.T) {
+	if Plain.String() != "plain" || DDR.String() != "DDR" || MDD1R.String() != "MDD1R" {
+		t.Fatal("variant names wrong")
+	}
+	if Variant(99).String() != "unknown" {
+		t.Fatal("unknown variant name")
+	}
+}
+
+func TestAllVariantsCorrect(t *testing.T) {
+	for _, v := range []Variant{Plain, DDR, MDD1R} {
+		t.Run(v.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(1, uint64(v)))
+			base := randomVals(rng, 5000, 10000)
+			ix := newIndex(base)
+			sel := NewSelector(ix, v, 64, rng)
+			for q := 0; q < 100; q++ {
+				lo := rng.Int64N(10000)
+				hi := lo + rng.Int64N(500) + 1
+				from, to := sel.Select(lo, hi)
+				n, s := ix.CountSum(from, to)
+				wn, ws := naiveRange(base, lo, hi)
+				if n != wn || s != ws {
+					t.Fatalf("q%d [%d,%d): %d/%d want %d/%d", q, lo, hi, n, s, wn, ws)
+				}
+			}
+			if err := ix.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSequentialWorkloadProgress is the motivating scenario: a sequential
+// sweep. Plain cracking leaves a giant tail piece; stochastic variants must
+// keep the maximum piece shrinking.
+func TestSequentialWorkloadProgress(t *testing.T) {
+	const n, domain = 20000, int64(20000)
+	rng := rand.New(rand.NewPCG(3, 4))
+	base := randomVals(rng, n, domain)
+
+	maxPieceAfterSweep := func(v Variant) int {
+		ix := newIndex(base)
+		sel := NewSelector(ix, v, 256, rand.New(rand.NewPCG(5, 6)))
+		for lo := int64(0); lo < domain/2; lo += 100 {
+			sel.Select(lo, lo+100)
+		}
+		p, _ := ix.MaxPiece()
+		return p.Size()
+	}
+
+	plain := maxPieceAfterSweep(Plain)
+	ddr := maxPieceAfterSweep(DDR)
+	mdd := maxPieceAfterSweep(MDD1R)
+	// After sweeping the lower half, plain cracking has never touched the
+	// upper half: one piece of ~n/2 remains.
+	if plain < n/3 {
+		t.Fatalf("plain max piece %d unexpectedly small — test premise broken", plain)
+	}
+	if ddr > plain/2 {
+		t.Fatalf("DDR max piece %d vs plain %d: insufficient progress", ddr, plain)
+	}
+	if mdd >= plain {
+		t.Fatalf("MDD1R max piece %d did not improve on plain %d", mdd, plain)
+	}
+}
+
+func TestDDRRespectsThreshold(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	base := randomVals(rng, 10000, 1<<20)
+	ix := newIndex(base)
+	sel := NewSelector(ix, DDR, 128, rng)
+	sel.Select(1<<19, 1<<19+1<<10)
+	// The pieces containing the bounds must now be under (or near) threshold.
+	for _, bound := range []int64{1 << 19, 1<<19 + 1<<10} {
+		a, b := ix.PieceOf(bound)
+		if b-a > 128 {
+			t.Fatalf("bound %d piece size %d exceeds threshold", bound, b-a)
+		}
+	}
+}
+
+func TestDuplicateHeavyDataTerminates(t *testing.T) {
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(i % 3) // only 3 distinct values
+	}
+	rng := rand.New(rand.NewPCG(9, 10))
+	for _, v := range []Variant{DDR, MDD1R} {
+		ix := newIndex(vals)
+		sel := NewSelector(ix, v, 16, rng)
+		from, to := sel.Select(1, 2)
+		n, _ := ix.CountSum(from, to)
+		if n != 5000/3+1 {
+			// 5000 = 3*1666 + 2 -> values 0,1 appear 1667 times, 2 appears 1666.
+			t.Fatalf("%v: duplicate query count %d", v, n)
+		}
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	sel := NewSelector(newIndex([]int64{1, 2, 3}), DDR, 0, rng)
+	if sel.threshold != DefaultThreshold {
+		t.Fatalf("threshold %d", sel.threshold)
+	}
+	if sel.Index().Len() != 3 {
+		t.Fatal("Index accessor broken")
+	}
+}
+
+func TestDegenerateRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	sel := NewSelector(newIndex([]int64{5, 1, 9}), MDD1R, 0, rng)
+	if from, to := sel.Select(7, 7); from != to {
+		t.Fatal("empty range returned rows")
+	}
+	if from, to := sel.Select(9, 2); from != to {
+		t.Fatal("inverted range returned rows")
+	}
+}
+
+func TestPropertyStochasticEquivalence(t *testing.T) {
+	f := func(seed uint64, variantRaw uint8) bool {
+		variant := Variant(variantRaw % 3)
+		rng := rand.New(rand.NewPCG(seed, 21))
+		domain := int64(1 + rng.Int64N(5000))
+		base := randomVals(rng, int(rng.Int64N(3000))+1, domain)
+		ix := newIndex(base)
+		sel := NewSelector(ix, variant, int(rng.Int64N(512))+1, rng)
+		for q := 0; q < 30; q++ {
+			lo := rng.Int64N(domain+100) - 50
+			hi := lo + rng.Int64N(domain/2+1)
+			from, to := sel.Select(lo, hi)
+			n, s := ix.CountSum(from, to)
+			wn, ws := naiveRange(base, lo, hi)
+			if n != wn || s != ws {
+				return false
+			}
+		}
+		return ix.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSequentialSweep(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	base := randomVals(rng, 1<<18, 1<<18)
+	for _, v := range []Variant{Plain, DDR, MDD1R} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ix := newIndex(base)
+				sel := NewSelector(ix, v, 1<<12, rand.New(rand.NewPCG(2, 2)))
+				b.StartTimer()
+				for lo := int64(0); lo < 1<<18; lo += 1 << 10 {
+					sel.Select(lo, lo+1<<10)
+				}
+			}
+		})
+	}
+}

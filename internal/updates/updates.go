@@ -1,0 +1,93 @@
+// Package updates implements update support for cracked columns following
+// the "merge gradually" design of Updating a Cracked Database (Idreos,
+// Kersten, Manegold, SIGMOD 2007). Inserts and deletes land in per-column
+// pending buffers; a range query merges — via the cracker's ripple moves —
+// only the pending tuples that fall inside the queried value range, so
+// update cost is deferred and paid exactly where the workload looks.
+package updates
+
+import (
+	"holistic/internal/cracker"
+)
+
+type entry struct {
+	val int64
+	row uint32
+}
+
+// Pending buffers not-yet-merged inserts and deletes for one cracked column.
+// It is not safe for concurrent use; the engine guards it with the column
+// latch.
+type Pending struct {
+	ins []entry
+	del []entry
+}
+
+// Insert buffers an insert of value v for base row `row`.
+func (p *Pending) Insert(v int64, row uint32) {
+	p.ins = append(p.ins, entry{v, row})
+}
+
+// Delete buffers a delete of (v, row). If the same (value, row) pair is
+// still sitting in the insert buffer the two annihilate immediately and
+// nothing is buffered.
+func (p *Pending) Delete(v int64, row uint32) {
+	for i, e := range p.ins {
+		if e.val == v && e.row == row {
+			p.ins[i] = p.ins[len(p.ins)-1]
+			p.ins = p.ins[:len(p.ins)-1]
+			return
+		}
+	}
+	p.del = append(p.del, entry{v, row})
+}
+
+// Counts returns the number of buffered inserts and deletes.
+func (p *Pending) Counts() (ins, del int) { return len(p.ins), len(p.del) }
+
+// Empty reports whether nothing is buffered.
+func (p *Pending) Empty() bool { return len(p.ins) == 0 && len(p.del) == 0 }
+
+// MergeRange ripples every buffered update whose value lies in [lo, hi)
+// into the index, removing it from the buffer. It returns the number of
+// updates applied. Queries call it before reading the cracked region so the
+// region reflects all updates relevant to their predicate.
+func (p *Pending) MergeRange(ix *cracker.Index, lo, hi int64) int {
+	if lo >= hi {
+		return 0
+	}
+	return p.merge(ix, func(v int64) bool { return v >= lo && v < hi })
+}
+
+// MergeAll ripples every buffered update into the index.
+func (p *Pending) MergeAll(ix *cracker.Index) int {
+	return p.merge(ix, func(int64) bool { return true })
+}
+
+func (p *Pending) merge(ix *cracker.Index, in func(int64) bool) int {
+	applied := 0
+	// Inserts first: a buffered delete can only reference a row that is
+	// either already in the index or in the insert buffer ahead of it
+	// (annihilation removes the only other case).
+	keep := p.ins[:0]
+	for _, e := range p.ins {
+		if in(e.val) {
+			ix.RippleInsert(e.val, e.row)
+			applied++
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	p.ins = keep
+	keepD := p.del[:0]
+	for _, e := range p.del {
+		if in(e.val) {
+			ix.RippleDeleteRow(e.val, e.row)
+			applied++
+		} else {
+			keepD = append(keepD, e)
+		}
+	}
+	p.del = keepD
+	return applied
+}

@@ -1,0 +1,210 @@
+package updates
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"holistic/internal/cracker"
+)
+
+func newIndex(vals []int64) *cracker.Index {
+	v := make([]int64, len(vals))
+	copy(v, vals)
+	rows := make([]uint32, len(vals))
+	for i := range rows {
+		rows[i] = uint32(i)
+	}
+	return cracker.New(v, rows)
+}
+
+func TestInsertThenQuery(t *testing.T) {
+	ix := newIndex([]int64{10, 30, 50})
+	var p Pending
+	p.Insert(20, 3)
+	p.Insert(70, 4)
+	if p.Empty() {
+		t.Fatal("buffer empty after inserts")
+	}
+	n := p.MergeRange(ix, 15, 35)
+	if n != 1 {
+		t.Fatalf("merged %d, want 1 (only value 20 is in range)", n)
+	}
+	from, to := ix.CrackRange(15, 35)
+	if cnt, _ := ix.CountSum(from, to); cnt != 2 { // 20 and 30
+		t.Fatalf("count %d", cnt)
+	}
+	ins, del := p.Counts()
+	if ins != 1 || del != 0 {
+		t.Fatalf("buffer state %d/%d", ins, del)
+	}
+}
+
+func TestDeleteAnnihilatesPendingInsert(t *testing.T) {
+	var p Pending
+	p.Insert(5, 1)
+	p.Delete(5, 1)
+	if !p.Empty() {
+		t.Fatal("insert+delete did not annihilate")
+	}
+	// Deleting a different row of the same value must not annihilate.
+	p.Insert(5, 2)
+	p.Delete(5, 3)
+	ins, del := p.Counts()
+	if ins != 1 || del != 1 {
+		t.Fatalf("buffer state %d/%d", ins, del)
+	}
+}
+
+func TestDeleteMergesAgainstIndex(t *testing.T) {
+	ix := newIndex([]int64{10, 20, 30})
+	var p Pending
+	p.Delete(20, 1)
+	if n := p.MergeRange(ix, 0, 100); n != 1 {
+		t.Fatalf("merged %d", n)
+	}
+	from, to := ix.CrackRange(0, 100)
+	if cnt, _ := ix.CountSum(from, to); cnt != 2 {
+		t.Fatalf("count %d after delete", cnt)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRangeLeavesOutsideUntouched(t *testing.T) {
+	ix := newIndex([]int64{10, 20, 30})
+	var p Pending
+	p.Insert(5, 10)
+	p.Insert(25, 11)
+	p.Insert(95, 12)
+	p.MergeRange(ix, 20, 30)
+	if ix.Len() != 4 {
+		t.Fatalf("len %d, want 4", ix.Len())
+	}
+	ins, _ := p.Counts()
+	if ins != 2 {
+		t.Fatalf("pending inserts %d, want 2", ins)
+	}
+	// MergeAll finishes the job.
+	p.MergeAll(ix)
+	if ix.Len() != 6 || !p.Empty() {
+		t.Fatalf("after MergeAll: len=%d empty=%v", ix.Len(), p.Empty())
+	}
+}
+
+func TestDegenerateMergeRange(t *testing.T) {
+	ix := newIndex([]int64{1, 2, 3})
+	var p Pending
+	p.Insert(2, 9)
+	if n := p.MergeRange(ix, 5, 5); n != 0 {
+		t.Fatal("empty range merged something")
+	}
+	if n := p.MergeRange(ix, 9, 2); n != 0 {
+		t.Fatal("inverted range merged something")
+	}
+}
+
+// TestPropertyPendingMatchesReference interleaves buffered updates, merges
+// and queries; query results must always match a reference multiset that
+// applies updates immediately.
+func TestPropertyPendingMatchesReference(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		domain := int64(150)
+		base := make([]int64, 80)
+		for i := range base {
+			base[i] = rng.Int64N(domain)
+		}
+		ix := newIndex(base)
+		var p Pending
+		type live struct {
+			val int64
+			row uint32
+		}
+		ref := make([]live, len(base))
+		for i, v := range base {
+			ref[i] = live{v, uint32(i)}
+		}
+		nextRow := uint32(len(base))
+
+		ops := int(opsRaw%100) + 20
+		for i := 0; i < ops; i++ {
+			switch rng.IntN(4) {
+			case 0: // insert
+				v := rng.Int64N(domain)
+				p.Insert(v, nextRow)
+				ref = append(ref, live{v, nextRow})
+				nextRow++
+			case 1: // delete a random live row
+				if len(ref) == 0 {
+					continue
+				}
+				j := rng.IntN(len(ref))
+				p.Delete(ref[j].val, ref[j].row)
+				ref = append(ref[:j], ref[j+1:]...)
+			case 2: // query with merge
+				lo := rng.Int64N(domain)
+				hi := lo + rng.Int64N(domain/3+1)
+				p.MergeRange(ix, lo, hi)
+				from, to := ix.CrackRange(lo, hi)
+				cnt, sum := ix.CountSum(from, to)
+				wc, ws := 0, int64(0)
+				for _, e := range ref {
+					if e.val >= lo && e.val < hi {
+						wc++
+						ws += e.val
+					}
+				}
+				if cnt != wc || sum != ws {
+					return false
+				}
+			case 3: // occasionally flush everything
+				p.MergeAll(ix)
+				if ix.Len() != len(ref) {
+					return false
+				}
+			}
+		}
+		p.MergeAll(ix)
+		if ix.Validate() != nil || ix.Len() != len(ref) {
+			return false
+		}
+		got := append([]int64{}, ix.Values()...)
+		want := make([]int64, len(ref))
+		for i, e := range ref {
+			want[i] = e.val
+		}
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMergeRange(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	base := make([]int64, 1<<18)
+	for i := range base {
+		base[i] = rng.Int64N(1 << 30)
+	}
+	ix := newIndex(base)
+	for i := 0; i < 500; i++ {
+		ix.RandomCrackDomain(rng)
+	}
+	var p Pending
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Insert(rng.Int64N(1<<30), uint32(i))
+		lo := rng.Int64N(1 << 30)
+		p.MergeRange(ix, lo, lo+1<<20)
+	}
+}
