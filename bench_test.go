@@ -13,6 +13,7 @@ package holistic_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"holistic"
@@ -204,6 +205,115 @@ func BenchmarkFig2CrackingSteps(b *testing.B) {
 			b.Fatal("empty figure")
 		}
 	}
+}
+
+// --- Multi-core: concurrent selects and the parallel idle pool -------------
+
+// BenchmarkConcurrentSelects measures select throughput on one holistic
+// column in the piece-latched steady state. The "serial" variant issues
+// queries from a single goroutine — the seed's effective behaviour, where
+// the column-wide mutex serialised every select. The "parallel" variant
+// drives the same engine from GOMAXPROCS goroutines via RunParallel; on a
+// 4+ core machine it should sustain >= 2x the serial throughput because
+// already-cracked ranges are served under shared latches.
+func benchConcurrentSelects(b *testing.B, parallel bool) {
+	const rows = 1 << 20
+	data := workload.UniformData(21, rows, 1, rows+1)
+	e := holistic.New(holistic.Config{
+		Strategy: holistic.StrategyHolistic, Seed: 22,
+		TargetPieceSize: 1 << 12, IdleWorkers: 4, ScanParallelism: 4,
+	})
+	defer e.Close()
+	tab, err := e.CreateTable("R")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tab.AddColumnFromSlice("A", append([]int64{}, data...)); err != nil {
+		b.Fatal(err)
+	}
+	// Converge the index first so the steady-state fast path dominates.
+	warm := workload.NewUniform("R", "A", 1, rows+1, 0.001, 23)
+	for i := 0; i < 500; i++ {
+		q := warm.Next()
+		if _, err := e.Select(q.Table, q.Column, q.Lo, q.Hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.IdleActions(2000)
+	b.ResetTimer()
+	if parallel {
+		var seq atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			gen := workload.NewUniform("R", "A", 1, rows+1, 0.001, 100+seq.Add(1))
+			for pb.Next() {
+				q := gen.Next()
+				if _, err := e.Select(q.Table, q.Column, q.Lo, q.Hi); err != nil {
+					b.Error(err) // Fatal must not run on a RunParallel goroutine
+					return
+				}
+			}
+		})
+	} else {
+		gen := workload.NewUniform("R", "A", 1, rows+1, 0.001, 99)
+		for i := 0; i < b.N; i++ {
+			q := gen.Next()
+			if _, err := e.Select(q.Table, q.Column, q.Lo, q.Hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkConcurrentSelects(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchConcurrentSelects(b, false) })
+	b.Run("parallel", func(b *testing.B) { benchConcurrentSelects(b, true) })
+}
+
+// BenchmarkParallelIdle measures how fast a pool of idle workers can apply a
+// fixed budget of refinement actions across four columns — the multi-core
+// version of the paper's "X refinement actions per idle window", driven
+// through Engine.IdleActions exactly as the harness drives it. Workers
+// claim columns atomically, so 4 workers on 4 columns should scale with the
+// core count.
+func benchParallelIdle(b *testing.B, workers int) {
+	const rows, perCol = 1 << 18, 4
+	const budget = 800
+	data := make([][]int64, perCol)
+	for c := range data {
+		data[c] = workload.UniformData(uint64(30+c), rows, 1, int64(rows)+1)
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := holistic.New(holistic.Config{
+			Strategy: holistic.StrategyHolistic, Seed: 31,
+			TargetPieceSize: 1 << 10, IdleWorkers: workers,
+		})
+		tab, err := e.CreateTable("R")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := range data {
+			if err := tab.AddColumnFromSlice(fmt.Sprintf("A%d", c), append([]int64{}, data[c]...)); err != nil {
+				b.Fatal(err)
+			}
+			// Seed interest so every column ranks above zero.
+			if err := e.SeedWorkloadHint("R", fmt.Sprintf("A%d", c), 1, int64(rows)+1, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if actions, _ := e.IdleActions(budget); actions == 0 {
+			b.Fatal("idle window performed no actions")
+		}
+		b.StopTimer()
+		e.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkParallelIdle(b *testing.B) {
+	b.Run("workers-1", func(b *testing.B) { benchParallelIdle(b, 1) })
+	b.Run("workers-4", func(b *testing.B) { benchParallelIdle(b, 4) })
 }
 
 // --- Ablations -------------------------------------------------------------

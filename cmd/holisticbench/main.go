@@ -35,6 +35,8 @@ func main() {
 		full    = flag.Int("full", 2, "full indexes offline builds a priori (fig4)")
 		actions = flag.Int("actions", 100, "refinements per column for holistic (fig4)")
 		target  = flag.Int("target", 1<<14, "holistic target piece size (values)")
+		workers = flag.Int("idle-workers", 0, "idle worker pool size (0 = GOMAXPROCS)")
+		scanPar = flag.Int("scan-par", 0, "goroutines per full-column scan (<=1 = serial)")
 		csvPath = flag.String("csv", "", "write cumulative series CSV to this file")
 		width   = flag.Int("plot-width", 72, "ASCII plot width")
 		height  = flag.Int("plot-height", 18, "ASCII plot height")
@@ -73,6 +75,7 @@ func main() {
 		res, err := harness.RunFig3(harness.Fig3Config{
 			N: *n, Queries: *queries, X: *x, IdleEvery: *idleEv,
 			Selectivity: *sel, Seed: *seed, TargetPieceSize: *target,
+			IdleWorkers: *workers, ScanParallelism: *scanPar,
 		})
 		if err != nil {
 			return err
@@ -94,6 +97,7 @@ func main() {
 			res, err := harness.RunFig3(harness.Fig3Config{
 				N: *n, Queries: *queries, X: xi, IdleEvery: *idleEv,
 				Selectivity: *sel, Seed: *seed, TargetPieceSize: *target,
+				IdleWorkers: *workers, ScanParallelism: *scanPar,
 			})
 			if err != nil {
 				return err
@@ -108,6 +112,7 @@ func main() {
 			Columns: *cols, N: *n, Queries: *queries, Selectivity: *sel,
 			Seed: *seed, FullIndexes: *full, ActionsPerColumn: *actions,
 			TargetPieceSize: *target,
+			IdleWorkers:     *workers, ScanParallelism: *scanPar,
 		})
 		if err != nil {
 			return err

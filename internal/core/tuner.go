@@ -28,8 +28,10 @@ package core
 
 import (
 	"math/rand/v2"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"holistic/internal/costmodel"
 	"holistic/internal/cracker"
@@ -78,30 +80,58 @@ func (c Config) hotBoost() int {
 }
 
 // Column is the tuner's view of one tunable column, implemented by the
-// engine. Lock guards the column's index structures; CrackIndex is only
-// called with the lock held and must return a non-nil index (creating the
-// cracked copy on first use).
+// engine. Lock/Unlock take the column's exclusive latch; RLock/RUnlock take
+// it shared. CrackIndex materialises the cracked copy on first use and is
+// only called with the exclusive latch held; the returned index is stable
+// thereafter and supports piece-latched concurrent refinement under the
+// shared latch (see package cracker).
 type Column interface {
 	Name() string
 	Lock()
 	Unlock()
+	RLock()
+	RUnlock()
 	CrackIndex() *cracker.Index
 }
 
+// shard is the tuner's per-column slice of the pending-action queue. Workers
+// claim a shard with an atomic flag before acting on it, so two idle workers
+// never crack the same column — and hence never the same piece — at once,
+// and never queue up behind one column's latch while other columns starve.
+type shard struct {
+	col  Column
+	busy atomic.Bool                   // claimed by an in-flight Step
+	ix   atomic.Pointer[cracker.Index] // cached once materialised
+}
+
+// index returns the shard's cracker index, materialising it under the
+// column's exclusive latch on first use.
+func (sh *shard) index() *cracker.Index {
+	if ix := sh.ix.Load(); ix != nil {
+		return ix
+	}
+	sh.col.Lock()
+	ix := sh.col.CrackIndex()
+	sh.col.Unlock()
+	sh.ix.Store(ix)
+	return ix
+}
+
 // Tuner is the holistic tuning engine. All methods are safe for concurrent
-// use.
+// use; Step in particular may be driven by many idle workers at once.
 type Tuner struct {
 	cfg       Config
 	model     costmodel.Params
 	collector *stats.Collector
 
-	mu      sync.Mutex
-	cols    []Column
-	rng     *rand.Rand
-	rr      int   // round-robin rotation cursor for rank ties
-	actions int64 // refinement actions performed
-	work    int64 // elements touched by those actions
-	boosts  int64 // hot-range boost cracks performed
+	mu        sync.Mutex
+	shards    []*shard
+	rng       *rand.Rand
+	rr        int   // round-robin rotation cursor for rank ties
+	actions   int64 // refinement actions performed
+	work      int64 // elements touched by those actions
+	boosts    int64 // hot-range boost cracks performed
+	contended int64 // Steps that yielded because every candidate was claimed
 }
 
 // NewTuner builds a tuner around a shared workload collector. A nil
@@ -135,7 +165,7 @@ func (t *Tuner) childRNG() *rand.Rand {
 func (t *Tuner) Register(c Column, domLo, domHi int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.cols = append(t.cols, c)
+	t.shards = append(t.shards, &shard{col: c})
 	if !t.collector.Registered(c.Name()) {
 		t.collector.Register(c.Name(), domLo, domHi)
 	}
@@ -179,6 +209,15 @@ func (t *Tuner) Boosts() int64 {
 	return t.boosts
 }
 
+// Contended returns how many Steps yielded without cracking because every
+// refinable column was already claimed by another worker — a diagnostic for
+// sizing the idle worker pool against the number of active columns.
+func (t *Tuner) Contended() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.contended
+}
+
 // RankEntry reports one column's current standing in the tuner's ranking.
 type RankEntry struct {
 	Column       string
@@ -191,19 +230,17 @@ type RankEntry struct {
 // Ranking returns the current ranking, best candidate first. It is a
 // diagnostic snapshot; Step recomputes scores internally.
 func (t *Tuner) Ranking() []RankEntry {
-	t.mu.Lock()
-	cols := append([]Column(nil), t.cols...)
-	t.mu.Unlock()
-	entries := make([]RankEntry, 0, len(cols))
-	for _, c := range cols {
-		freq := t.collector.Frequency(c.Name())
-		c.Lock()
-		ix := c.CrackIndex()
+	shards := t.snapshotShards()
+	entries := make([]RankEntry, 0, len(shards))
+	for _, sh := range shards {
+		freq := t.collector.Frequency(sh.col.Name())
+		ix := sh.index()
+		sh.col.RLock()
 		avg := ix.AvgPieceSize()
 		pieces := ix.Pieces()
-		c.Unlock()
+		sh.col.RUnlock()
 		entries = append(entries, RankEntry{
-			Column:       c.Name(),
+			Column:       sh.col.Name(),
 			Score:        t.model.Score(freq, avg),
 			Frequency:    freq,
 			AvgPieceSize: avg,
@@ -214,91 +251,228 @@ func (t *Tuner) Ranking() []RankEntry {
 	return entries
 }
 
-// Step performs one idle refinement action on the best-ranked column. It
-// returns the work done (elements touched) and whether any column still had
-// refinement potential; (0, true) can occur when a random pivot lands on an
-// existing boundary. This is the unit the paper calls "a random index
-// refinement action".
-func (t *Tuner) Step() (work int, ok bool) {
+func (t *Tuner) snapshotShards() []*shard {
 	t.mu.Lock()
-	cols := append([]Column(nil), t.cols...)
+	defer t.mu.Unlock()
+	return append([]*shard(nil), t.shards...)
+}
+
+// StepResult classifies one TryStep attempt.
+type StepResult int
+
+const (
+	// StepWorked: a refinement action ran (its work may still be 0 if the
+	// random pivot hit an existing boundary).
+	StepWorked StepResult = iota
+	// StepContended: every refinable column was claimed by another worker;
+	// nothing ran and nothing was counted. The caller should yield.
+	StepContended
+	// StepExhausted: no column has refinement potential left.
+	StepExhausted
+)
+
+// TryStep attempts one idle refinement action on the best-ranked unclaimed
+// column, returning the work done (elements touched) and what happened.
+// Only StepWorked counts toward Actions(); a contended attempt is tallied
+// in Contended() instead, so "X refinement actions" keeps the paper's
+// meaning under a multi-worker pool.
+//
+// TryStep is safe — and useful — to call from many goroutines: each caller
+// claims a column shard with an atomic flag before cracking, so concurrent
+// workers fan out across columns instead of serialising on one latch, and
+// the crack itself runs under the column's shared latch with piece-level
+// latching inside the cracker.
+func (t *Tuner) TryStep() (work int, res StepResult) {
+	shards := t.snapshotShards()
+	if len(shards) == 0 {
+		return 0, StepExhausted
+	}
+	t.mu.Lock()
 	rr := t.rr
 	t.rr++
 	t.mu.Unlock()
-	if len(cols) == 0 {
-		return 0, false
-	}
 
-	best := t.pickColumn(cols, rr)
-	if best == nil {
-		return 0, false
+	// Linear best-unclaimed scan (no sort, no allocation on the hot idle
+	// path). Ties keep the first candidate in rr-rotated order, the same
+	// round-robin the paper's "No Knowledge" case needs. If the claim race
+	// is lost, rescan: the raced shard is busy now, so the next-best wins.
+	n := len(shards)
+	for attempt := 0; attempt < n; attempt++ {
+		var best *shard
+		bestScore := 0.0
+		refinable := false
+		for i := 0; i < n; i++ {
+			sh := shards[(rr+i)%n]
+			freq := t.collector.Frequency(sh.col.Name())
+			if freq <= 0 {
+				// Score is frequency-weighted: an unqueried, unseeded column
+				// can never rank, so don't materialise its cracked copy
+				// just to score it.
+				continue
+			}
+			ix := sh.index()
+			sh.col.RLock()
+			avg := ix.AvgPieceSize()
+			sh.col.RUnlock()
+			s := t.model.Score(freq, avg)
+			if s <= 0 {
+				continue
+			}
+			refinable = true
+			if sh.busy.Load() {
+				continue // another worker owns this column's action queue
+			}
+			if s > bestScore {
+				best, bestScore = sh, s
+			}
+		}
+		if best == nil {
+			if !refinable {
+				return 0, StepExhausted
+			}
+			// Every refinable column is claimed right now. Yield instead of
+			// queueing behind a latch.
+			t.mu.Lock()
+			t.contended++
+			t.mu.Unlock()
+			return 0, StepContended
+		}
+		if !best.busy.CompareAndSwap(false, true) {
+			continue // lost the claim race; rescan for the next best
+		}
+		w := t.crackShard(best)
+		best.busy.Store(false)
+		t.mu.Lock()
+		t.actions++
+		t.work += int64(w)
+		t.mu.Unlock()
+		return w, StepWorked
 	}
+	t.mu.Lock()
+	t.contended++
+	t.mu.Unlock()
+	return 0, StepContended
+}
 
+// Step performs one idle refinement action on the best-ranked column. It
+// returns the work done and whether any column still had refinement
+// potential; (0, true) can occur when a random pivot lands on an existing
+// boundary or when every refinable column is claimed by another worker.
+// This is the unit the paper calls "a random index refinement action".
+// Callers that need to distinguish contention from work use TryStep.
+func (t *Tuner) Step() (work int, ok bool) {
+	w, res := t.TryStep()
+	return w, res != StepExhausted
+}
+
+// crackShard performs one random refinement on a claimed shard under the
+// column's shared latch; the cracker's piece latches serialise only the
+// piece actually split.
+func (t *Tuner) crackShard(sh *shard) int {
 	rng := t.childRNG()
-	best.Lock()
-	ix := best.CrackIndex()
+	ix := sh.index()
+	sh.col.RLock()
+	defer sh.col.RUnlock()
 	w := 0
 	for attempt := 0; attempt < DefaultCrackRetries; attempt++ {
-		if w = ix.RandomCrackDomain(rng); w > 0 {
+		if w = ix.RandomCrackDomainConcurrent(rng); w > 0 {
 			break
 		}
 	}
 	if w == 0 {
 		// Domain pivots keep hitting existing boundaries; force progress on
 		// the largest piece instead.
-		w = ix.RandomCrackLargest(rng)
+		w = ix.RandomCrackLargestConcurrent(rng)
 	}
-	best.Unlock()
-
-	t.mu.Lock()
-	t.actions++
-	t.work += int64(w)
-	t.mu.Unlock()
-	return w, true
+	return w
 }
 
-// pickColumn ranks candidates (rotated by rr so score ties round-robin) and
-// returns the best with a positive score, or nil if every column is either
-// converged or irrelevant to the observed workload.
-func (t *Tuner) pickColumn(cols []Column, rr int) Column {
-	n := len(cols)
-	bestScore := 0.0
-	var best Column
-	for i := 0; i < n; i++ {
-		c := cols[(rr+i)%n]
-		freq := t.collector.Frequency(c.Name())
-		c.Lock()
-		avg := c.CrackIndex().AvgPieceSize()
-		c.Unlock()
-		if s := t.model.Score(freq, avg); s > bestScore {
-			bestScore = s
-			best = c
-		}
-	}
-	return best
-}
+// runActionsSpinCap bounds how many consecutive contended attempts
+// RunActions tolerates before giving up its remaining budget: claims are
+// held only for the duration of one crack, so sustained contention means
+// more workers than refinable columns.
+const runActionsSpinCap = 1 << 12
 
 // RunActions performs up to n refinement actions, returning how many ran
 // and the elements they touched. It stops early when every column is
 // converged. This implements the paper's idle windows of X actions.
+// Contended attempts (another worker holds every refinable column) retry
+// after yielding the processor and are not counted as actions.
 func (t *Tuner) RunActions(n int) (actions int, work int64) {
-	for i := 0; i < n; i++ {
-		w, ok := t.Step()
-		if !ok {
-			break
+	spins := 0
+	for actions < n {
+		w, res := t.TryStep()
+		switch res {
+		case StepWorked:
+			actions++
+			work += int64(w)
+			spins = 0
+		case StepContended:
+			spins++
+			if spins > runActionsSpinCap {
+				return actions, work
+			}
+			runtime.Gosched()
+		case StepExhausted:
+			return actions, work
 		}
-		actions++
-		work += int64(w)
 	}
 	return actions, work
 }
 
+// RunActionsParallel spreads an idle window of up to n refinement actions
+// over a pool of workers: the multi-core version of the paper's "idle time
+// is the time needed to apply X random index refinement actions". Workers
+// claim slots of the shared budget atomically and fan out across column
+// shards via TryStep. workers <= 1 degrades to the serial RunActions.
+func (t *Tuner) RunActionsParallel(n, workers int) (actions int, work int64) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return t.RunActions(n)
+	}
+	var budget, acts, wrk atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			spins := 0
+			for budget.Add(1) <= int64(n) {
+			attempt:
+				w, res := t.TryStep()
+				switch res {
+				case StepWorked:
+					acts.Add(1)
+					wrk.Add(int64(w))
+					spins = 0
+				case StepContended:
+					spins++
+					if spins > runActionsSpinCap {
+						return
+					}
+					runtime.Gosched()
+					goto attempt // retry the claimed budget slot
+				case StepExhausted:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(acts.Load()), wrk.Load()
+}
+
 // MaybeBoost implements the "No Time" opportunity: called by the select
-// operator (with the column latch already held) right after serving a query
-// on [lo, hi). If the range is hot per the collector, it applies the
-// configured number of extra random cracks inside the range to ix and
-// returns the elements touched; the cost lands in the query's own critical
-// path, which is acceptable because hot pieces are small by construction.
+// operator (with the column latch held, shared or exclusive) right after
+// serving a query on [lo, hi). If the range is hot per the collector, it
+// applies the configured number of extra random cracks inside the range to
+// ix and returns the elements touched; the cost lands in the query's own
+// critical path, which is acceptable because hot pieces are small by
+// construction. The cracks use the piece-latched concurrent path, so under
+// a shared column latch concurrent boosts of disjoint ranges proceed in
+// parallel.
 func (t *Tuner) MaybeBoost(ix *cracker.Index, col string, lo, hi int64) int {
 	boost := t.cfg.hotBoost()
 	if boost == 0 {
@@ -311,7 +485,7 @@ func (t *Tuner) MaybeBoost(ix *cracker.Index, col string, lo, hi int64) int {
 	work := 0
 	done := 0
 	for i := 0; i < boost; i++ {
-		w := ix.RandomCrackInRange(rng, lo, hi)
+		w := ix.RandomCrackInRangeConcurrent(rng, lo, hi)
 		work += w
 		if w > 0 {
 			done++

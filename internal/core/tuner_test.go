@@ -12,7 +12,7 @@ import (
 // fakeColumn implements Column over an in-memory cracker index.
 type fakeColumn struct {
 	name string
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	ix   *cracker.Index
 }
 
@@ -30,6 +30,8 @@ func newFakeColumn(name string, n int, domain int64, seed uint64) *fakeColumn {
 func (f *fakeColumn) Name() string               { return f.name }
 func (f *fakeColumn) Lock()                      { f.mu.Lock() }
 func (f *fakeColumn) Unlock()                    { f.mu.Unlock() }
+func (f *fakeColumn) RLock()                     { f.mu.RLock() }
+func (f *fakeColumn) RUnlock()                   { f.mu.RUnlock() }
 func (f *fakeColumn) CrackIndex() *cracker.Index { return f.ix }
 
 func (f *fakeColumn) pieces() int {

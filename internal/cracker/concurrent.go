@@ -1,0 +1,315 @@
+package cracker
+
+// Piece-level concurrency for the cracker index.
+//
+// The *Concurrent methods below let many goroutines crack and read one index
+// at the same time, provided they all run in shared mode (see the Index type
+// comment): structural operations that move values across piece boundaries
+// (ripple updates, consolidation) are excluded by the owner's column latch.
+//
+// The protocol rests on two facts about database cracking:
+//
+//  1. splits never move a value out of its piece, so the byte range
+//     [start, end) of a piece only ever shrinks on the right as boundaries
+//     are added — a piece's START position is stable;
+//  2. boundary positions, once inserted, never change in shared mode.
+//
+// Each piece therefore has an identity — its start position — and a lazily
+// allocated RWMutex latch under that key. A cracker write-latches the one
+// piece it splits; a reader share-latches each piece it aggregates. Because
+// the tree can change between looking a piece up and acquiring its latch,
+// every acquisition re-validates the piece's start under the latch and
+// retries on mismatch (the classic latch-validate loop).
+
+import (
+	"math/rand/v2"
+	"sync"
+)
+
+// latchFor returns the latch of the piece starting at position start,
+// allocating it on first use.
+func (ix *Index) latchFor(start int) *sync.RWMutex {
+	ix.latches.mu.Lock()
+	lt, ok := ix.latches.m[start]
+	if !ok {
+		if ix.latches.m == nil {
+			ix.latches.m = make(map[int]*sync.RWMutex)
+		}
+		lt = new(sync.RWMutex)
+		ix.latches.m[start] = lt
+	}
+	ix.latches.mu.Unlock()
+	return lt
+}
+
+// resetLatches drops the piece-latch registry. Callers must hold the index
+// exclusively (no latch can be held): ripple updates and consolidation shift
+// piece start positions, which are the registry's keys.
+func (ix *Index) resetLatches() {
+	ix.latches.mu.Lock()
+	ix.latches.m = nil
+	ix.latches.mu.Unlock()
+}
+
+// pieceBoundsAt returns the bounds of the piece containing position pos.
+func (ix *Index) pieceBoundsAt(pos int) (int, int) {
+	ix.treeMu.RLock()
+	defer ix.treeMu.RUnlock()
+	a := 0
+	if _, p, ok := ix.tree.FloorPos(pos); ok {
+		a = p
+	}
+	b := len(ix.vals)
+	if _, p, ok := ix.tree.HigherPos(pos); ok {
+		b = p
+	}
+	return a, b
+}
+
+// lockPiece write-latches the piece currently containing value v, returning
+// its validated bounds. The caller must Unlock the returned latch.
+func (ix *Index) lockPiece(v int64) (a, b int, lt *sync.RWMutex) {
+	for {
+		a, _ = ix.pieceBounds(v)
+		lt = ix.latchFor(a)
+		lt.Lock()
+		a2, b2 := ix.pieceBounds(v)
+		if a2 == a {
+			// Start matches: we hold the write latch of v's piece, so its
+			// end b2 cannot move under us.
+			return a, b2, lt
+		}
+		lt.Unlock()
+	}
+}
+
+// rlockPieceAt share-latches the piece currently containing position pos,
+// returning its validated bounds. The caller must RUnlock the latch.
+func (ix *Index) rlockPieceAt(pos int) (a, b int, lt *sync.RWMutex) {
+	for {
+		a, _ = ix.pieceBoundsAt(pos)
+		lt = ix.latchFor(a)
+		lt.RLock()
+		a2, b2 := ix.pieceBoundsAt(pos)
+		if a2 == a {
+			return a, b2, lt
+		}
+		lt.RUnlock()
+	}
+}
+
+// LookupRange reports, without cracking anything, whether crack boundaries
+// already exist for both lo and hi; if so it returns their positions. It is
+// the read-only fast path for selects on already-cracked ranges.
+func (ix *Index) LookupRange(lo, hi int64) (from, to int, ok bool) {
+	if lo >= hi || len(ix.vals) == 0 {
+		return 0, 0, false
+	}
+	ix.treeMu.RLock()
+	pLo, okLo := ix.tree.Get(lo)
+	pHi, okHi := ix.tree.Get(hi)
+	ix.treeMu.RUnlock()
+	if !okLo || !okHi {
+		return 0, 0, false
+	}
+	return pLo, pHi, true
+}
+
+// ensureBoundaryConcurrent makes sure a crack boundary exists for v,
+// splitting v's piece under its write latch if needed, and returns the
+// boundary position.
+func (ix *Index) ensureBoundaryConcurrent(v int64) int {
+	if pos, ok := ix.boundaryPos(v); ok {
+		return pos
+	}
+	a, b, lt := ix.lockPiece(v)
+	// Another goroutine may have cracked at exactly v before we latched.
+	if pos, ok := ix.boundaryPos(v); ok {
+		lt.Unlock()
+		return pos
+	}
+	m := partition2(ix.vals, ix.rows, a, b, v)
+	ix.insertBoundary(v, m)
+	ix.cracks.Add(1)
+	ix.work.Add(int64(b - a))
+	lt.Unlock()
+	return m
+}
+
+// CrackAtConcurrent is CrackAt under the piece-latch protocol: safe to call
+// from many goroutines in shared mode. It reports the piece size partitioned
+// and whether a new boundary was created.
+func (ix *Index) CrackAtConcurrent(v int64) (pieceSize int, cracked bool) {
+	if len(ix.vals) == 0 {
+		return 0, false
+	}
+	if _, ok := ix.boundaryPos(v); ok {
+		return 0, false
+	}
+	a, b, lt := ix.lockPiece(v)
+	if _, ok := ix.boundaryPos(v); ok {
+		lt.Unlock()
+		return 0, false
+	}
+	m := partition2(ix.vals, ix.rows, a, b, v)
+	ix.insertBoundary(v, m)
+	ix.cracks.Add(1)
+	ix.work.Add(int64(b - a))
+	lt.Unlock()
+	return b - a, true
+}
+
+// CrackRangeConcurrent is CrackRange under the piece-latch protocol. Only
+// the piece(s) holding the missing bounds are write-latched; selects whose
+// bounds already exist touch no latch at all.
+func (ix *Index) CrackRangeConcurrent(lo, hi int64) (from, to int) {
+	if lo >= hi || len(ix.vals) == 0 {
+		return 0, 0
+	}
+	if from, to, ok := ix.LookupRange(lo, hi); ok {
+		return from, to
+	}
+	// Try the single-piece three-way split: both bounds missing and in the
+	// same piece means one partition pass instead of two.
+	if _, ok := ix.boundaryPos(lo); !ok {
+		a, b, lt := ix.lockPiece(lo)
+		ix.treeMu.RLock()
+		_, okLo := ix.tree.Get(lo)
+		_, okHi := ix.tree.Get(hi)
+		aH, bH := ix.pieceBoundsTreeLocked(hi)
+		ix.treeMu.RUnlock()
+		if !okLo && !okHi && aH == a && bH == b {
+			m1, m2 := partition3(ix.vals, ix.rows, a, b, lo, hi)
+			ix.treeMu.Lock()
+			ix.tree.Insert(lo, m1)
+			ix.tree.Insert(hi, m2)
+			ix.treeMu.Unlock()
+			ix.cracks.Add(2)
+			ix.work.Add(int64(b - a))
+			lt.Unlock()
+			return m1, m2
+		}
+		lt.Unlock()
+	}
+	from = ix.ensureBoundaryConcurrent(lo)
+	to = ix.ensureBoundaryConcurrent(hi)
+	return from, to
+}
+
+// CountSumConcurrent aggregates the region [from, to) — which must be
+// delimited by existing crack boundaries — share-latching one piece at a
+// time, so concurrent splits of unrelated pieces proceed and splits of a
+// piece being read wait only for that piece's read to finish.
+func (ix *Index) CountSumConcurrent(from, to int) (int, int64) {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(ix.vals) {
+		to = len(ix.vals)
+	}
+	var sum int64
+	pos := from
+	for pos < to {
+		_, b, lt := ix.rlockPieceAt(pos)
+		end := b
+		if end > to {
+			end = to
+		}
+		for _, v := range ix.vals[pos:end] {
+			sum += v
+		}
+		lt.RUnlock()
+		pos = end
+	}
+	return to - from, sum
+}
+
+// RandomCrackDomainConcurrent is RandomCrackDomain under the piece-latch
+// protocol.
+func (ix *Index) RandomCrackDomainConcurrent(rng *rand.Rand) int {
+	if len(ix.vals) == 0 || ix.domLo >= ix.domHi {
+		return 0
+	}
+	v := ix.domLo + rng.Int64N(ix.domHi-ix.domLo) + 1 // pivot in (domLo, domHi]
+	size, ok := ix.CrackAtConcurrent(v)
+	if !ok {
+		return 0
+	}
+	return size
+}
+
+// RandomCrackInRangeConcurrent is RandomCrackInRange under the piece-latch
+// protocol: the pivot element is sampled under the piece's read latch, and
+// the crack itself re-validates the pivot's piece.
+func (ix *Index) RandomCrackInRangeConcurrent(rng *rand.Rand, lo, hi int64) int {
+	if len(ix.vals) == 0 || lo >= hi {
+		return 0
+	}
+	mid := lo + rng.Int64N(hi-lo)
+	v, ok := ix.samplePiece(rng, mid)
+	if !ok {
+		return 0
+	}
+	size, cracked := ix.CrackAtConcurrent(v)
+	if !cracked {
+		return 0
+	}
+	return size
+}
+
+// samplePiece picks a uniformly random element of the piece containing value
+// mid, reading under the piece's shared latch. Ok is false for pieces too
+// small to split.
+func (ix *Index) samplePiece(rng *rand.Rand, mid int64) (int64, bool) {
+	for {
+		a, _ := ix.pieceBounds(mid)
+		lt := ix.latchFor(a)
+		lt.RLock()
+		a2, b2 := ix.pieceBounds(mid)
+		if a2 != a {
+			lt.RUnlock()
+			continue
+		}
+		if b2-a2 < 2 {
+			lt.RUnlock()
+			return 0, false
+		}
+		v := ix.vals[a2+rng.IntN(b2-a2)]
+		lt.RUnlock()
+		return v, true
+	}
+}
+
+// RandomCrackLargestConcurrent is RandomCrackLargest under the piece-latch
+// protocol. The max-piece search is a racy snapshot (pieces may split while
+// searching); the pivot sample and crack re-validate, so the worst case is
+// cracking a piece that is no longer the largest.
+func (ix *Index) RandomCrackLargestConcurrent(rng *rand.Rand) int {
+	p, ok := ix.MaxPiece()
+	if !ok || p.End-p.Start < 2 {
+		return 0
+	}
+	// Sample a pivot from the piece found. Lo is only a valid in-piece value
+	// when the piece has a lower bound; otherwise use the value at Start
+	// read under the piece latch via position.
+	v, ok := ix.samplePieceAt(rng, p.Start)
+	if !ok {
+		return 0
+	}
+	size, cracked := ix.CrackAtConcurrent(v)
+	if !cracked {
+		return 0
+	}
+	return size
+}
+
+// samplePieceAt picks a random element of the piece containing position pos
+// under its shared latch. Ok is false for pieces too small to split.
+func (ix *Index) samplePieceAt(rng *rand.Rand, pos int) (int64, bool) {
+	a, b, lt := ix.rlockPieceAt(pos)
+	defer lt.RUnlock()
+	if b-a < 2 {
+		return 0, false
+	}
+	return ix.vals[a+rng.IntN(b-a)], true
+}

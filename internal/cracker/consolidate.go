@@ -19,6 +19,12 @@ package cracker
 // only the granularity of known partitioning information changes, never its
 // correctness.
 func (ix *Index) Consolidate(minPiece int) int {
+	// Exclusive-mode operation: boundary removal merges pieces, so no shared
+	// readers or crackers may be active. Latches are reset at the end since
+	// piece starts change.
+	defer ix.resetLatches()
+	ix.treeMu.Lock()
+	defer ix.treeMu.Unlock()
 	if ix.tree.Len() == 0 {
 		return 0
 	}

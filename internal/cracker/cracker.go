@@ -16,23 +16,53 @@ package cracker
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 
 	"holistic/internal/column"
 	"holistic/internal/cracktree"
 )
 
-// Index is a cracker index over a single column. It is not safe for
-// concurrent use; the engine guards each index with a latch.
+// Index is a cracker index over a single column.
+//
+// Concurrency: the index supports two access modes, arbitrated by the
+// owner's (the engine's) column reader/writer latch:
+//
+//   - Exclusive mode (column write latch): the plain methods — CrackRange,
+//     CrackAt, the Random* actions, ripple updates, Consolidate — may be
+//     used freely; nothing else runs.
+//   - Shared mode (column read latch): any number of goroutines may use the
+//     *Concurrent methods simultaneously. They coordinate through the
+//     cracker tree's internal lock plus per-piece latches, so only the
+//     piece actually being split is exclusively held and lookups or
+//     aggregations over already-cracked pieces proceed in parallel.
+//
+// Structural operations that move values across piece boundaries (ripple
+// inserts/deletes, consolidation) always require exclusive mode.
 type Index struct {
 	vals []int64
 	rows []uint32
 	tree cracktree.Tree
 
+	// treeMu guards every access to tree. Piece partitioning is NOT covered
+	// by it — that is what the per-piece latches are for — so boundary
+	// lookups stay cheap and concurrent.
+	treeMu sync.RWMutex
+
+	// latches holds one RWMutex per piece, keyed by the piece's start
+	// position. Piece starts are stable under shared mode (splits keep the
+	// left half's start; only exclusive-mode ripples move positions), so the
+	// key identifies a piece for as long as shared mode lasts.
+	latches struct {
+		mu sync.Mutex
+		m  map[int]*sync.RWMutex
+	}
+
 	// Domain bounds of the stored values, cached at construction.
 	domLo, domHi int64
 
-	cracks int   // crack actions performed (boundaries inserted)
-	work   int64 // elements touched by partitioning, the dominant cost
+	cracks atomic.Int64 // crack actions performed (boundaries inserted)
+	work   atomic.Int64 // elements touched by partitioning, the dominant cost
 }
 
 // New builds a cracker index that adopts vals and rows (no copy). Both
@@ -70,14 +100,17 @@ func (ix *Index) Pieces() int {
 	if len(ix.vals) == 0 {
 		return 0
 	}
-	return ix.tree.Len() + 1
+	ix.treeMu.RLock()
+	n := ix.tree.Len()
+	ix.treeMu.RUnlock()
+	return n + 1
 }
 
 // Cracks returns the number of crack actions (boundary insertions) so far.
-func (ix *Index) Cracks() int { return ix.cracks }
+func (ix *Index) Cracks() int { return int(ix.cracks.Load()) }
 
 // Work returns the cumulative number of elements touched by partitioning.
-func (ix *Index) Work() int64 { return ix.work }
+func (ix *Index) Work() int64 { return ix.work.Load() }
 
 // AvgPieceSize returns the mean piece size, or 0 for an empty index.
 func (ix *Index) AvgPieceSize() float64 {
@@ -106,6 +139,12 @@ func (ix *Index) Rows() []uint32 { return ix.rows }
 // pieceBounds returns the [start, end) positions of the piece that value v
 // falls into. A boundary key exactly equal to v starts the piece.
 func (ix *Index) pieceBounds(v int64) (int, int) {
+	ix.treeMu.RLock()
+	defer ix.treeMu.RUnlock()
+	return ix.pieceBoundsTreeLocked(v)
+}
+
+func (ix *Index) pieceBoundsTreeLocked(v int64) (int, int) {
 	start := 0
 	if _, pos, ok := ix.tree.Floor(v); ok {
 		start = pos
@@ -133,8 +172,8 @@ func (ix *Index) CrackRange(lo, hi int64) (from, to int) {
 	if lo >= hi || len(ix.vals) == 0 {
 		return 0, 0
 	}
-	pLo, okLo := ix.tree.Get(lo)
-	pHi, okHi := ix.tree.Get(hi)
+	pLo, okLo := ix.boundaryPos(lo)
+	pHi, okHi := ix.boundaryPos(hi)
 	switch {
 	case okLo && okHi:
 		return pLo, pHi
@@ -148,28 +187,43 @@ func (ix *Index) CrackRange(lo, hi int64) (from, to int) {
 	if aL == aH && bL == bH {
 		// Both bounds fall inside the same piece: crack in three.
 		m1, m2 := partition3(ix.vals, ix.rows, aL, bL, lo, hi)
-		ix.tree.Insert(lo, m1)
-		ix.tree.Insert(hi, m2)
-		ix.cracks += 2
-		ix.work += int64(bL - aL)
+		ix.insertBoundary(lo, m1)
+		ix.insertBoundary(hi, m2)
+		ix.cracks.Add(2)
+		ix.work.Add(int64(bL - aL))
 		return m1, m2
 	}
 	m1 := partition2(ix.vals, ix.rows, aL, bL, lo)
-	ix.tree.Insert(lo, m1)
+	ix.insertBoundary(lo, m1)
 	m2 := partition2(ix.vals, ix.rows, aH, bH, hi)
-	ix.tree.Insert(hi, m2)
-	ix.cracks += 2
-	ix.work += int64(bL - aL + bH - aH)
+	ix.insertBoundary(hi, m2)
+	ix.cracks.Add(2)
+	ix.work.Add(int64(bL - aL + bH - aH))
 	return m1, m2
+}
+
+// boundaryPos looks up an existing crack boundary for value v.
+func (ix *Index) boundaryPos(v int64) (pos int, ok bool) {
+	ix.treeMu.RLock()
+	pos, ok = ix.tree.Get(v)
+	ix.treeMu.RUnlock()
+	return pos, ok
+}
+
+// insertBoundary records a new crack boundary under the tree lock.
+func (ix *Index) insertBoundary(v int64, pos int) {
+	ix.treeMu.Lock()
+	ix.tree.Insert(v, pos)
+	ix.treeMu.Unlock()
 }
 
 // crackAt inserts a boundary for v (assumed absent) and returns its position.
 func (ix *Index) crackAt(v int64) int {
 	a, b := ix.pieceBounds(v)
 	m := partition2(ix.vals, ix.rows, a, b, v)
-	ix.tree.Insert(v, m)
-	ix.cracks++
-	ix.work += int64(b - a)
+	ix.insertBoundary(v, m)
+	ix.cracks.Add(1)
+	ix.work.Add(int64(b - a))
 	return m
 }
 
@@ -180,7 +234,7 @@ func (ix *Index) CrackAt(v int64) (pieceSize int, cracked bool) {
 	if len(ix.vals) == 0 {
 		return 0, false
 	}
-	if _, ok := ix.tree.Get(v); ok {
+	if _, ok := ix.boundaryPos(v); ok {
 		return 0, false
 	}
 	a, b := ix.pieceBounds(v)
@@ -263,6 +317,8 @@ func (ix *Index) ForEachPiece(visit func(Piece) bool) {
 	prevKey := int64(0)
 	hasPrev := false
 	stopped := false
+	ix.treeMu.RLock()
+	defer ix.treeMu.RUnlock()
 	ix.tree.Walk(func(key int64, pos int) bool {
 		p := Piece{Start: prevPos, End: pos, Lo: prevKey, Hi: key, HasLo: hasPrev, HasHi: true}
 		prevPos, prevKey, hasPrev = pos, key, true
@@ -324,8 +380,8 @@ func (ix *Index) Stats() Stats {
 	s := Stats{
 		Len:          ix.Len(),
 		Pieces:       ix.Pieces(),
-		Cracks:       ix.cracks,
-		Work:         ix.work,
+		Cracks:       ix.Cracks(),
+		Work:         ix.Work(),
 		AvgPieceSize: ix.AvgPieceSize(),
 	}
 	if p, ok := ix.MaxPiece(); ok {
@@ -346,6 +402,7 @@ func (ix *Index) Validate() error {
 	}
 	prevPos := 0
 	var err error
+	ix.treeMu.RLock()
 	ix.tree.Walk(func(key int64, pos int) bool {
 		if pos < prevPos || pos > len(ix.vals) {
 			err = fmt.Errorf("cracker: boundary %d has position %d out of order (prev %d, len %d)", key, pos, prevPos, len(ix.vals))
@@ -354,6 +411,7 @@ func (ix *Index) Validate() error {
 		prevPos = pos
 		return true
 	})
+	ix.treeMu.RUnlock()
 	if err != nil {
 		return err
 	}

@@ -20,12 +20,14 @@ func (ix *Index) RippleInsert(v int64, r uint32) {
 	// Collect the start positions of every piece strictly above v's piece,
 	// i.e. every boundary with key > v, in ascending order.
 	var starts []int
+	ix.treeMu.RLock()
 	ix.tree.Walk(func(key int64, pos int) bool {
 		if key > v {
 			starts = append(starts, pos)
 		}
 		return true
 	})
+	ix.treeMu.RUnlock()
 	// Open a free slot at the end, then ripple it down: the first element of
 	// each higher piece moves to the free slot just past that piece's end.
 	ix.vals = append(ix.vals, 0)
@@ -39,7 +41,10 @@ func (ix *Index) RippleInsert(v int64, r uint32) {
 	}
 	ix.vals[free] = v
 	ix.rows[free] = r
+	ix.treeMu.Lock()
 	ix.tree.ShiftAfter(v, 1)
+	ix.treeMu.Unlock()
+	ix.resetLatches()
 	if v < ix.domLo {
 		ix.domLo = v
 	}
@@ -87,12 +92,14 @@ func (ix *Index) rippleDelete(v int64, row uint32, matchRow bool) (r uint32, ok 
 	// Ripple the hole up: each higher piece's last element drops into the
 	// slot just before that piece's start.
 	var bounds []int // start positions of pieces above v's, ascending
+	ix.treeMu.RLock()
 	ix.tree.Walk(func(key int64, pos int) bool {
 		if key > v {
 			bounds = append(bounds, pos)
 		}
 		return true
 	})
+	ix.treeMu.RUnlock()
 	for i := range bounds {
 		end := len(ix.vals)
 		if i+1 < len(bounds) {
@@ -108,6 +115,9 @@ func (ix *Index) rippleDelete(v int64, row uint32, matchRow bool) (r uint32, ok 
 	}
 	ix.vals = ix.vals[:len(ix.vals)-1]
 	ix.rows = ix.rows[:len(ix.rows)-1]
+	ix.treeMu.Lock()
 	ix.tree.ShiftAfter(v, -1)
+	ix.treeMu.Unlock()
+	ix.resetLatches()
 	return r, true
 }

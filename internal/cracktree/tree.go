@@ -220,6 +220,41 @@ func (t *Tree) Max() (k int64, pos int, ok bool) {
 	return n.key, n.pos, true
 }
 
+// FloorPos returns the boundary with the largest position <= pos. When
+// several boundaries share that position (zero-width pieces) the one with
+// the largest key wins, so the returned boundary is the true lower bound of
+// the piece starting at pos. Positions are non-decreasing in key order, so
+// an ordinary BST descent works. Concurrent readers use it to re-locate the
+// piece containing a position while holding that piece's latch.
+func (t *Tree) FloorPos(pos int) (k int64, p int, ok bool) {
+	n := t.root
+	for n != nil {
+		if n.pos <= pos {
+			k, p, ok = n.key, n.pos, true
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return k, p, ok
+}
+
+// HigherPos returns the boundary with the smallest position strictly greater
+// than pos; among equals the smallest key wins. It is the piece-end
+// counterpart of FloorPos.
+func (t *Tree) HigherPos(pos int) (k int64, p int, ok bool) {
+	n := t.root
+	for n != nil {
+		if n.pos > pos {
+			k, p, ok = n.key, n.pos, true
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return k, p, ok
+}
+
 // Remove deletes the boundary with the given key, reporting whether it was
 // present. Removing a boundary merges the two pieces it separated; the
 // cracker uses this when consolidating degenerate (zero-width) pieces.

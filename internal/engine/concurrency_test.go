@@ -194,7 +194,7 @@ func TestConcurrentUpdatesAndQueries(t *testing.T) {
 	// Final integrity: a fresh query must agree with a tombstone-aware scan.
 	cs, _ := e.colState("R", "A")
 	cs.mu.Lock()
-	wantCount, wantSum := cs.scanLocked(0, 1<<40)
+	wantCount, wantSum := cs.scanShared(0, 1<<40)
 	if cs.crack != nil {
 		if err := cs.crack.Validate(); err != nil {
 			cs.mu.Unlock()

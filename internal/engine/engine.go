@@ -9,12 +9,45 @@
 // configurable strategy, supports row inserts and deletes, and — for the
 // holistic strategy — drives the tuner (internal/core) through both manual
 // idle injection (the experiments' protocol) and an automatic background
-// idle worker.
+// pool of idle workers (Config.IdleWorkers, default GOMAXPROCS).
+//
+// # Concurrency model
+//
+// The kernel is multi-core end to end, latched at three granularities:
+//
+//   - Catalog: Engine.mu and Table.mu (RWMutex) guard table/column maps;
+//     row inserts and deletes hold the table lock, so rows are added to all
+//     columns atomically.
+//   - Column: every colState has a reader/writer latch. The WRITE side is
+//     only for structural changes — materialising the cracked copy, merging
+//     pending updates into it (ripple moves shift piece positions),
+//     (re)building or dropping the sorted index, tombstoning deletes, and
+//     stochastic-variant selects. The READ side admits any number of
+//     queries and idle workers simultaneously.
+//   - Piece: under the shared column latch, work on the cracker index is
+//     coordinated by the index's own piece-level latches (see package
+//     cracker): a select or idle action that splits a piece write-latches
+//     just that piece; reads of already-cracked ranges take per-piece read
+//     latches. Concurrent selects on cracked ranges therefore proceed
+//     fully in parallel, and two queries only collide when they split the
+//     very same piece.
+//
+// Idle refinement is preemptible at action granularity: each worker claims
+// one action, re-checks for an in-flight query inside the claim, and yields
+// immediately if one arrived (package idle). The holistic tuner makes
+// concurrent claims useful by sharding its action queue per column with
+// atomic ownership flags (package core), so a pool of workers fans out
+// across columns instead of convoying on one latch.
+//
+// Large uncracked columns additionally use a chunk-parallel scan
+// (Config.ScanParallelism, package scan) so even the no-index baseline
+// saturates the memory bandwidth of a multi-core box.
 package engine
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -38,7 +71,10 @@ var (
 type Config struct {
 	// Strategy is the indexing approach applied to all selects.
 	Strategy Strategy
-	// Seed makes all randomised tuning reproducible.
+	// Seed makes randomised tuning reproducible. With IdleWorkers > 1 the
+	// set of idle cracks per window is still seed-derived but their
+	// interleaving across workers is scheduler-dependent; use IdleWorkers=1
+	// for bit-identical runs.
 	Seed uint64
 	// TargetPieceSize: see core.Config. <= 0 selects the cost-model default.
 	TargetPieceSize int
@@ -57,12 +93,19 @@ type Config struct {
 	// build cost profile (Time_sort); radix is the modern alternative the
 	// ablation benchmarks explore.
 	RadixBuild bool
-	// AutoIdle starts a background idle worker (holistic only). The
+	// AutoIdle starts the background idle worker pool (holistic only). The
 	// experiments use manual injection instead, like the paper.
 	AutoIdle bool
-	// IdleQuiet / IdleQuantum tune the automatic idle worker.
+	// IdleQuiet / IdleQuantum tune the automatic idle workers.
 	IdleQuiet   time.Duration
 	IdleQuantum int
+	// IdleWorkers is the size of the automatic idle worker pool: how many
+	// goroutines pull refinement actions concurrently during idle time.
+	// <= 0 selects GOMAXPROCS — one refinement stream per core.
+	IdleWorkers int
+	// ScanParallelism caps the goroutines a single full-column scan fans
+	// out to on large uncracked columns. <= 1 scans serially.
+	ScanParallelism int
 }
 
 // Result is the outcome of one select: the projection's cardinality and sum
@@ -107,9 +150,15 @@ func New(cfg Config) *Engine {
 		if cfg.IdleQuantum > 0 {
 			opts = append(opts, idle.WithQuantum(cfg.IdleQuantum))
 		}
+		if cfg.IdleWorkers > 0 {
+			opts = append(opts, idle.WithWorkers(cfg.IdleWorkers))
+		}
 		e.runner = idle.NewRunner(func() bool {
-			_, ok := e.tuner.Step()
-			return ok
+			// Only a step that actually worked counts as an action; a
+			// contended or exhausted attempt ends this worker's burst (the
+			// pool retries on the next idle tick).
+			_, res := e.tuner.TryStep()
+			return res == core.StepWorked
 		}, opts...)
 		if cfg.AutoIdle {
 			e.runner.Start()
@@ -127,6 +176,14 @@ func (e *Engine) Close() {
 
 // Strategy returns the engine's indexing strategy.
 func (e *Engine) Strategy() Strategy { return e.cfg.Strategy }
+
+// idleWorkers resolves Config.IdleWorkers to the effective pool width.
+func (e *Engine) idleWorkers() int {
+	if e.cfg.IdleWorkers > 0 {
+		return e.cfg.IdleWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Tuner exposes the holistic tuner for introspection (nil for other
 // strategies).
@@ -197,15 +254,19 @@ func (e *Engine) DropFullIndex(table, col string) error {
 
 // IdleActions manually injects an idle window of up to n refinement
 // actions, the paper's experimental protocol ("idle time is the time needed
-// to apply X random index refinement actions"). It returns the actions
-// performed and the elements they touched. For the online strategy it
-// instead forces a design review (building any advised indexes); for other
-// strategies idle time cannot be exploited and it returns zeros —
-// reproducing the Scan/Adaptive rows of Table 1.
+// to apply X random index refinement actions"). The window is spread over
+// Config.IdleWorkers goroutines (default GOMAXPROCS), so on a multi-core
+// box the same X actions take a fraction of the wall-clock idle time; set
+// IdleWorkers to 1 for the paper's serial protocol and bit-reproducible
+// action sequences. It returns the actions performed and the elements they
+// touched. For the online strategy it instead forces a design review
+// (building any advised indexes); for other strategies idle time cannot be
+// exploited and it returns zeros — reproducing the Scan/Adaptive rows of
+// Table 1.
 func (e *Engine) IdleActions(n int) (actions int, work int64) {
 	switch e.cfg.Strategy {
 	case StrategyHolistic:
-		return e.tuner.RunActions(n)
+		return e.tuner.RunActionsParallel(n, e.idleWorkers())
 	case StrategyOnline:
 		for _, adv := range e.advisor.ForceReview() {
 			if e.applyAdvice(adv) {

@@ -9,7 +9,17 @@ import (
 // projection's count and sum plus the query-visible elapsed time. All index
 // building, cracking, merging and boosting performed inside the query's
 // critical path is included in Elapsed; idle-time work is not (it runs in
-// IdleActions or the background worker).
+// IdleActions or the background worker pool).
+//
+// Concurrency: selects on the same column run in parallel wherever the
+// physical design allows it. Scan/offline/online selects are pure reads
+// under the column's shared latch (large uncracked scans additionally fan
+// out across cores, see scan.ParallelCountSum). Adaptive/holistic selects
+// take the shared latch too and rely on the cracker's piece-level latches,
+// so two queries cracking different pieces — or reading already-cracked
+// ranges — never wait on each other; only materialising the cracked copy,
+// merging pending updates and stochastic-variant selects fall back to the
+// exclusive latch.
 func (e *Engine) Select(table, col string, lo, hi int64) (Result, error) {
 	cs, err := e.colState(table, col)
 	if err != nil {
@@ -24,20 +34,20 @@ func (e *Engine) Select(table, col string, lo, hi int64) (Result, error) {
 	var sum int64
 	switch e.cfg.Strategy {
 	case StrategyScan:
-		cs.mu.Lock()
-		count, sum = cs.scanLocked(lo, hi)
-		cs.mu.Unlock()
+		cs.mu.RLock()
+		count, sum = cs.scanShared(lo, hi)
+		cs.mu.RUnlock()
 
 	case StrategyOffline:
-		cs.mu.Lock()
-		count, sum = cs.sortedOrScanLocked(lo, hi)
-		cs.mu.Unlock()
+		cs.mu.RLock()
+		count, sum = cs.sortedOrScanShared(lo, hi)
+		cs.mu.RUnlock()
 
 	case StrategyOnline:
-		cs.mu.Lock()
-		count, sum = cs.sortedOrScanLocked(lo, hi)
+		cs.mu.RLock()
+		count, sum = cs.sortedOrScanShared(lo, hi)
 		n := cs.col.Len() - cs.nDeleted
-		cs.mu.Unlock()
+		cs.mu.RUnlock()
 		sel := 0.0
 		if n > 0 {
 			sel = float64(count) / float64(n)
@@ -50,34 +60,59 @@ func (e *Engine) Select(table, col string, lo, hi int64) (Result, error) {
 		}
 
 	case StrategyAdaptive:
-		cs.mu.Lock()
-		count, sum = cs.crackedSelectLocked(lo, hi)
-		cs.mu.Unlock()
+		count, sum = cs.crackedSelect(lo, hi)
 
 	case StrategyHolistic:
-		cs.mu.Lock()
-		count, sum = cs.crackedSelectLocked(lo, hi)
+		count, sum = cs.crackedSelect(lo, hi)
 		// Continuous monitoring plus the "No Time" opportunity: a hot range
 		// earns a few extra cracks inside the query (cheap — hot pieces are
-		// already small).
+		// already small). Boost cracks use the piece-latched path, so they
+		// only serialise against work on the pieces they split.
 		e.tuner.NoteQuery(cs.name, lo, hi)
-		e.tuner.MaybeBoost(cs.crack, cs.name, lo, hi)
-		cs.mu.Unlock()
+		cs.mu.RLock()
+		if ix := cs.crack; ix != nil {
+			e.tuner.MaybeBoost(ix, cs.name, lo, hi)
+		}
+		cs.mu.RUnlock()
 	}
 	return Result{Count: count, Sum: sum, Elapsed: time.Since(start)}, nil
 }
 
-// sortedOrScanLocked uses the full index when present, else falls back to a
-// scan. Offline/online strategies serve selects through it.
-func (cs *colState) sortedOrScanLocked(lo, hi int64) (int, int64) {
+// sortedOrScanShared uses the full index when present, else falls back to a
+// scan. Offline/online strategies serve selects through it; it only reads,
+// so the column's shared latch suffices.
+func (cs *colState) sortedOrScanShared(lo, hi int64) (int, int64) {
 	if cs.sorted != nil {
 		from, to := cs.sorted.Range(lo, hi)
 		return cs.sorted.CountSum(from, to)
 	}
-	return cs.scanLocked(lo, hi)
+	return cs.scanShared(lo, hi)
 }
 
-// crackedSelectLocked is the adaptive select operator: materialise the
+// crackedSelect is the adaptive select operator. The common case — cracked
+// copy materialised, no pending updates, plain (non-stochastic) cracking —
+// runs under the shared column latch: CrackRangeConcurrent write-latches
+// only the piece(s) it splits and CountSumConcurrent read-latches pieces one
+// at a time, so concurrent selects proceed in parallel. Everything else
+// (first-touch materialisation, pending merges, stochastic variants) takes
+// the exclusive latch.
+func (cs *colState) crackedSelect(lo, hi int64) (int, int64) {
+	cs.mu.RLock()
+	if ix := cs.crack; ix != nil && cs.selector == nil && cs.pending.Empty() {
+		from, to := ix.CrackRangeConcurrent(lo, hi)
+		count, sum := ix.CountSumConcurrent(from, to)
+		cs.mu.RUnlock()
+		return count, sum
+	}
+	cs.mu.RUnlock()
+	// Structural work needed; state may have changed between the latches,
+	// so the exclusive path re-checks everything.
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.crackedSelectLocked(lo, hi)
+}
+
+// crackedSelectLocked is the exclusive-mode adaptive select: materialise the
 // cracked copy on first use, merge pending updates overlapping the range,
 // crack (per the configured stochastic variant), aggregate.
 func (cs *colState) crackedSelectLocked(lo, hi int64) (int, int64) {

@@ -44,11 +44,18 @@ func (t *Table) Rows() int {
 
 // colState is one column plus its physical design structures. It implements
 // core.Column so the holistic tuner can refine it directly.
+//
+// Latching: mu is the column's reader/writer latch. The write side guards
+// every structural change — materialising the cracked copy, merging pending
+// updates, (re)building the sorted index, tombstones. Under the read side,
+// any number of queries and idle workers may operate on the cracker index
+// concurrently through its piece-latched *Concurrent methods: only the
+// piece actually being split is exclusively held inside the cracker.
 type colState struct {
 	name string // qualified "table.column"
 	eng  *Engine
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	col      *column.Column
 	crack    *cracker.Index
 	selector *stochastic.Selector // non-nil iff crack != nil and variant != Plain
@@ -66,6 +73,12 @@ func (cs *colState) Lock() { cs.mu.Lock() }
 
 // Unlock implements core.Column.
 func (cs *colState) Unlock() { cs.mu.Unlock() }
+
+// RLock implements core.Column.
+func (cs *colState) RLock() { cs.mu.RLock() }
+
+// RUnlock implements core.Column.
+func (cs *colState) RUnlock() { cs.mu.RUnlock() }
 
 // CrackIndex implements core.Column: it returns the column's cracker index,
 // materialising the cracked copy on first use. Callers hold cs.mu.
@@ -116,9 +129,15 @@ func (cs *colState) buildSortedLocked() {
 	}
 }
 
-// scanLocked answers [lo, hi) with a full scan, honouring tombstones.
-func (cs *colState) scanLocked(lo, hi int64) (int, int64) {
+// scanShared answers [lo, hi) with a full scan, honouring tombstones. It
+// only reads, so it runs under either column latch mode; with
+// Config.ScanParallelism > 1 a large tombstone-free column is scanned
+// chunk-parallel across cores.
+func (cs *colState) scanShared(lo, hi int64) (int, int64) {
 	if cs.nDeleted == 0 {
+		if p := cs.eng.cfg.ScanParallelism; p > 1 {
+			return scan.ParallelCountSum(cs.col.Values(), lo, hi, p)
+		}
 		return scan.CountSum(cs.col.Values(), lo, hi)
 	}
 	count, sum := 0, int64(0)

@@ -24,6 +24,9 @@ type Fig4Config struct {
 	TargetPieceSize  int
 	// RadixBuild: see Fig3Config.
 	RadixBuild bool
+	// IdleWorkers / ScanParallelism: see engine.Config.
+	IdleWorkers     int
+	ScanParallelism int
 }
 
 func (c *Fig4Config) fill() {
@@ -89,6 +92,8 @@ func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
 			Seed:            cfg.Seed,
 			TargetPieceSize: cfg.TargetPieceSize,
 			RadixBuild:      cfg.RadixBuild,
+			IdleWorkers:     cfg.IdleWorkers,
+			ScanParallelism: cfg.ScanParallelism,
 		})
 		tab, err := e.CreateTable("R")
 		if err != nil {

@@ -8,13 +8,27 @@
 //     the paper's own experimental protocol ("we artificially induce and
 //     control idle time ... as the time needed to apply X random index
 //     refinement actions") and what the benchmark harness uses.
-//   - Automatic: Start launches a background goroutine that watches query
-//     activity; after a configurable quiet period it runs actions in small
-//     quanta, backing off the moment a query begins so that tuning work
-//     never sits in a query's critical path.
+//   - Automatic: Start launches a pool of background worker goroutines
+//     (WithWorkers, default GOMAXPROCS) that watch query activity; after a
+//     configurable quiet period each worker pulls refinement actions
+//     concurrently, backing off the moment a query begins so that tuning
+//     work never sits in a query's critical path.
+//
+// Preemption protocol: a step is claimed, not just run. Every worker (and
+// RunActions) first checks that no query is active, announces its claim,
+// then re-checks activity before invoking the step function — so a query
+// arriving between the idle check and the step forces a yield instead of
+// riding in the query's critical path. Steps themselves are small (one
+// crack action) and therefore bounded-latency; the claim re-check shrinks
+// the preemption window to the step boundary, which is the granularity the
+// paper's "small, preemptible actions" design calls for. The step function
+// must be safe for concurrent calls when the pool has more than one worker;
+// the holistic tuner guarantees this via per-column action claims and
+// piece-level latches.
 package idle
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,7 +38,7 @@ import (
 // runner considers the system idle.
 const DefaultQuiet = 10 * time.Millisecond
 
-// DefaultQuantum is how many actions the automatic runner performs per
+// DefaultQuantum is how many actions each automatic worker performs per
 // wakeup before re-checking for activity.
 const DefaultQuantum = 16
 
@@ -34,11 +48,18 @@ type Runner struct {
 	step    func() bool // one tuning action; false = nothing left to do
 	quiet   time.Duration
 	quantum int
+	workers int
 
 	active  atomic.Int64 // in-flight queries
 	lastEnd atomic.Int64 // UnixNano of last query completion
 	actions atomic.Int64 // total actions executed
 	stopped atomic.Bool
+
+	// testHookClaim, when non-nil, runs between a step's claim and the final
+	// activity re-check. Tests use it to provoke the query-arrives-mid-claim
+	// interleaving deterministically. Set before Start/RunActions; never
+	// mutated while workers run.
+	testHookClaim func()
 
 	mu     sync.Mutex // guards start/stop state
 	stopCh chan struct{}
@@ -66,10 +87,27 @@ func WithQuantum(n int) Option {
 	}
 }
 
-// NewRunner wraps one tuning step. The step function must be safe to call
-// from the runner's goroutine: it takes whatever latches it needs itself.
+// WithWorkers sets the size of the automatic worker pool. The default is
+// GOMAXPROCS: one refinement stream per core, the multi-core holistic
+// posture. n <= 0 keeps the default.
+func WithWorkers(n int) Option {
+	return func(r *Runner) {
+		if n > 0 {
+			r.workers = n
+		}
+	}
+}
+
+// NewRunner wraps one tuning step. With a worker pool larger than one the
+// step function must be safe to call concurrently: it takes whatever latches
+// it needs itself.
 func NewRunner(step func() bool, opts ...Option) *Runner {
-	r := &Runner{step: step, quiet: DefaultQuiet, quantum: DefaultQuantum}
+	r := &Runner{
+		step:    step,
+		quiet:   DefaultQuiet,
+		quantum: DefaultQuantum,
+		workers: runtime.GOMAXPROCS(0),
+	}
 	for _, o := range opts {
 		o(r)
 	}
@@ -77,8 +115,11 @@ func NewRunner(step func() bool, opts ...Option) *Runner {
 	return r
 }
 
-// QueryBegin tells the runner a query entered the system. The automatic
-// runner finishes its current action and then yields.
+// Workers returns the size of the automatic worker pool.
+func (r *Runner) Workers() int { return r.workers }
+
+// QueryBegin tells the runner a query entered the system. Automatic workers
+// finish (or abandon) their current claim and then yield.
 func (r *Runner) QueryBegin() { r.active.Add(1) }
 
 // QueryEnd tells the runner a query completed, restarting the quiet clock.
@@ -91,6 +132,29 @@ func (r *Runner) QueryEnd() {
 // manual and automatic).
 func (r *Runner) Actions() int64 { return r.actions.Load() }
 
+// claimStep attempts to run exactly one tuning action. It re-checks query
+// activity after announcing the claim, closing the window in which a query
+// arriving between the caller's idle check and the step would have had a
+// refinement action land in its critical path. ran reports whether the step
+// executed; more is false only when the step function reports exhaustion.
+func (r *Runner) claimStep() (ran, more bool) {
+	if r.active.Load() > 0 {
+		return false, true
+	}
+	if h := r.testHookClaim; h != nil {
+		h()
+	}
+	if r.active.Load() > 0 {
+		// A query slipped in after the claim: yield without stepping.
+		return false, true
+	}
+	if !r.step() {
+		return false, false
+	}
+	r.actions.Add(1)
+	return true, true
+}
+
 // RunActions synchronously executes up to n tuning actions, stopping early
 // if the step function reports exhaustion or a query becomes active. It
 // returns the number of actions actually executed. This is the manual idle
@@ -98,15 +162,12 @@ func (r *Runner) Actions() int64 { return r.actions.Load() }
 func (r *Runner) RunActions(n int) int {
 	done := 0
 	for i := 0; i < n; i++ {
-		if r.active.Load() > 0 {
-			break
-		}
-		if !r.step() {
-			break
+		ran, _ := r.claimStep()
+		if !ran {
+			break // preempted by a query, or exhausted
 		}
 		done++
 	}
-	r.actions.Add(int64(done))
 	return done
 }
 
@@ -119,7 +180,7 @@ func (r *Runner) idleNow() bool {
 	return time.Since(last) >= r.quiet
 }
 
-// Start launches the automatic idle worker. It is a no-op if already
+// Start launches the automatic worker pool. It is a no-op if already
 // running.
 func (r *Runner) Start() {
 	r.mu.Lock()
@@ -129,12 +190,14 @@ func (r *Runner) Start() {
 	}
 	r.stopped.Store(false)
 	r.stopCh = make(chan struct{})
-	r.wg.Add(1)
-	go r.loop(r.stopCh)
+	for i := 0; i < r.workers; i++ {
+		r.wg.Add(1)
+		go r.loop(r.stopCh)
+	}
 }
 
-// Stop halts the automatic idle worker and waits for it to exit. Manual
-// RunActions remains available. It is a no-op if not running.
+// Stop halts the automatic worker pool and waits for every worker to exit.
+// Manual RunActions remains available. It is a no-op if not running.
 func (r *Runner) Stop() {
 	r.mu.Lock()
 	ch := r.stopCh
@@ -165,13 +228,13 @@ func (r *Runner) loop(stop <-chan struct{}) {
 				continue
 			}
 			for i := 0; i < r.quantum; i++ {
-				if r.stopped.Load() || r.active.Load() > 0 {
+				if r.stopped.Load() {
 					break
 				}
-				if !r.step() {
+				ran, more := r.claimStep()
+				if !ran || !more {
 					break
 				}
-				r.actions.Add(1)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package idle
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -129,8 +130,101 @@ func TestManualWhileAutomaticRunning(t *testing.T) {
 }
 
 func TestOptionsValidation(t *testing.T) {
-	r := NewRunner(func() bool { return true }, WithQuiet(-1), WithQuantum(0))
+	r := NewRunner(func() bool { return true }, WithQuiet(-1), WithQuantum(0), WithWorkers(0))
 	if r.quiet != DefaultQuiet || r.quantum != DefaultQuantum {
 		t.Fatalf("invalid options accepted: quiet=%v quantum=%d", r.quiet, r.quantum)
+	}
+	if r.Workers() < 1 {
+		t.Fatalf("worker pool default %d, want >= 1", r.Workers())
+	}
+}
+
+// TestClaimRecheckPreemptsStep is the regression test for the TOCTOU between
+// the idle check and the step: a query arriving after a worker has claimed a
+// step but before the step runs must prevent the step from running. The test
+// hook injects the query arrival deterministically inside the claim window —
+// exactly the interleaving the old single-check code lost.
+func TestClaimRecheckPreemptsStep(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true })
+	r.testHookClaim = func() {
+		r.QueryBegin() // a query arrives mid-claim
+	}
+	if got := r.RunActions(1); got != 0 {
+		t.Fatalf("ran %d actions despite query arriving inside the claim", got)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("step executed %d times in the query's critical path", calls.Load())
+	}
+	// After the query drains, the runner proceeds again.
+	r.testHookClaim = nil
+	r.QueryEnd()
+	if got := r.RunActions(3); got != 3 {
+		t.Fatalf("ran %d actions after query end, want 3", got)
+	}
+}
+
+// TestWorkerPoolRunsConcurrently starts a multi-worker pool and checks that
+// more than one worker is inside the step function at the same time.
+func TestWorkerPoolRunsConcurrently(t *testing.T) {
+	var inStep, maxInStep, calls atomic.Int64
+	r := NewRunner(func() bool {
+		n := inStep.Add(1)
+		for {
+			m := maxInStep.Load()
+			if n <= m || maxInStep.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond) // hold the step open so workers overlap
+		inStep.Add(-1)
+		calls.Add(1)
+		return true
+	}, WithQuiet(time.Millisecond), WithQuantum(64), WithWorkers(4))
+	if r.Workers() != 4 {
+		t.Fatalf("workers = %d, want 4", r.Workers())
+	}
+	r.Start()
+	defer r.Stop()
+	deadline := time.After(5 * time.Second)
+	for calls.Load() < 64 {
+		select {
+		case <-deadline:
+			t.Fatalf("pool executed only %d actions", calls.Load())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	r.Stop()
+	// On a single-core runner the scheduler may never overlap the workers;
+	// only assert overlap when parallelism is actually available.
+	if runtime.GOMAXPROCS(0) >= 2 && maxInStep.Load() < 2 {
+		t.Fatalf("max concurrent steps %d, want >= 2", maxInStep.Load())
+	}
+	t.Logf("max concurrent steps: %d", maxInStep.Load())
+}
+
+// TestPoolYieldsToQueries: every worker in a 4-wide pool must stop pulling
+// actions while a query is active.
+func TestPoolYieldsToQueries(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true },
+		WithQuiet(time.Millisecond), WithQuantum(4), WithWorkers(4))
+	r.QueryBegin()
+	r.Start()
+	defer r.Stop()
+	time.Sleep(20 * time.Millisecond)
+	if calls.Load() != 0 {
+		t.Fatalf("pool ran %d actions while a query was active", calls.Load())
+	}
+	r.QueryEnd()
+	deadline := time.After(2 * time.Second)
+	for calls.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("pool never resumed after query end")
+		default:
+			time.Sleep(time.Millisecond)
+		}
 	}
 }
