@@ -1,0 +1,201 @@
+// Command holisticctl is the scripted client for holisticd: one-shot
+// statements, server observability, and a closed-loop load generator for
+// demonstrating traffic-gap idle harvesting from the outside.
+//
+//	holisticctl -addr localhost:7701 exec "select a from r where a >= 10 and a < 500"
+//	holisticctl -addr localhost:7701 stats
+//	holisticctl -addr localhost:7701 bench -clients 8 -requests 2000 -table r -col a -domain 1000000
+//
+// exec with no arguments reads statements from stdin, one per line, and
+// prints one response line each — the pipe-friendly mode. bench reports
+// client-side latency percentiles plus the server's idle-refinement
+// counters before and after the run, so the effect of traffic on the idle
+// pool is visible without touching the server process.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"holistic/internal/harness"
+	"holistic/internal/server"
+	"holistic/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7701", "holisticd address (host:port)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "exec":
+		err = cmdExec(*addr, args[1:])
+	case "stats":
+		err = cmdStats(*addr)
+	case "bench":
+		err = cmdBench(*addr, args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "holisticctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: holisticctl [-addr host:port] <command>
+
+commands:
+  exec [stmt ...]   execute statements (or stdin lines) and print responses
+  stats             print the server's \stats payload
+  bench [flags]     closed-loop load generator; bench -h for flags
+`)
+	os.Exit(2)
+}
+
+func cmdExec(addr string, stmts []string) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	run := func(stmt string) error {
+		resp, err := c.Exec(stmt)
+		if err != nil {
+			return err
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	if len(stmts) > 0 {
+		for _, stmt := range stmts {
+			if err := run(stmt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			if err := run(line); err != nil {
+				return err
+			}
+		}
+	}
+	return sc.Err()
+}
+
+func cmdStats(addr string) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	stats, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func cmdBench(addr string, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		clients  = fs.Int("clients", 8, "concurrent client connections")
+		requests = fs.Int("requests", 1000, "total queries across all clients")
+		table    = fs.String("table", "r", "table to query")
+		col      = fs.String("col", "a", "column to query")
+		domain   = fs.Int64("domain", 1_000_000, "column value domain [1, domain]")
+		sel      = fs.Float64("sel", 0.01, "query selectivity")
+		seed     = fs.Uint64("seed", 1, "RNG seed")
+	)
+	fs.Parse(args)
+
+	// One probe connection fetches before/after idle counters.
+	probe, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer probe.Close()
+	before, err := probe.Stats()
+	if err != nil {
+		return err
+	}
+
+	perClient := *requests / *clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	lats := make([][]time.Duration, *clients)
+	errsCh := make(chan error, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < *clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				errsCh <- err
+				return
+			}
+			defer c.Close()
+			gen := workload.NewUniform(*table, *col, 1, *domain+1, *sel, *seed+uint64(ci))
+			lat := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				q := gen.Next()
+				stmt := fmt.Sprintf("select %s from %s where %s >= %d and %s < %d",
+					q.Column, q.Table, q.Column, q.Lo, q.Column, q.Hi)
+				t0 := time.Now()
+				if _, _, err := c.Query(stmt); err != nil {
+					errsCh <- err
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			lats[ci] = lat
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errsCh)
+	for err := range errsCh {
+		return err
+	}
+
+	after, err := probe.Stats()
+	if err != nil {
+		return err
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	p50, p95, p99, max := harness.LatencyProfile(all)
+	fmt.Printf("bench: %d clients, %d queries in %v (%.0f q/s)\n",
+		*clients, len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds())
+	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n", p50, p95, p99, max)
+	fmt.Printf("server idle refinement: %d actions before, %d after (+%d); gate: %+v\n",
+		before.IdleActions, after.IdleActions, after.IdleActions-before.IdleActions, after.Gate)
+	return nil
+}

@@ -1,0 +1,151 @@
+// Command holisticd serves the holistic kernel over TCP: the running-DBMS
+// deployment the paper assumes, where idle time is an emergent property of
+// client traffic. Clients speak the newline-delimited JSON protocol
+// documented in docs/protocol.md (see also internal/server); any statement
+// the sqlmini grammar accepts can be sent as a bare text line, so the
+// server is netcat-friendly:
+//
+//	$ holisticd -addr :7701 -strategy holistic -load r.a:1000000 &
+//	$ printf 'select a from r where a >= 1000 and a < 11000\n' | nc localhost 7701
+//	{"ok":true,"kind":"select","count":10038,"sum":60222337,"elapsed_us":1843}
+//
+// The daemon wires a load gate (internal/loadgate) between the network
+// frontend and the engine's idle worker pool: while requests are in flight
+// the pool yields entirely, and every traffic gap is spent on ranked index
+// refinement, ramping up the longer the gap lasts. Watch it happen with
+// `holisticctl stats` or a `\stats` line.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
+// statements finish and flush their responses, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"holistic/internal/engine"
+	"holistic/internal/loadgate"
+	"holistic/internal/server"
+	"holistic/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7701", "listen address (host:port)")
+		strat   = flag.String("strategy", "holistic", "scan|offline|online|adaptive|holistic")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		target  = flag.Int("target", 1<<14, "holistic target piece size (values)")
+		workers = flag.Int("idle-workers", 0, "idle worker pool size (0 = GOMAXPROCS)")
+		quiet   = flag.Duration("idle-quiet", 10*time.Millisecond, "traffic gap length before idle refinement starts")
+		quantum = flag.Int("idle-quantum", 0, "refinement actions per idle wakeup (0 = default)")
+		scanPar = flag.Int("scan-par", 0, "goroutines per full-column scan (<=1 = serial)")
+		maxIn   = flag.Int("max-inflight", server.DefaultMaxInFlight, "bounded admission: max statements in the system")
+		load    = flag.String("load", "", "preload spec: comma-separated table.col:n uniform columns, e.g. r.a:1000000,r.b:1000000")
+		verbose = flag.Bool("v", false, "log connection-level events")
+	)
+	flag.Parse()
+
+	st, ok := strategyByName(*strat)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strat)
+		os.Exit(2)
+	}
+	eng := engine.New(engine.Config{
+		Strategy:        st,
+		Seed:            *seed,
+		TargetPieceSize: *target,
+		AutoIdle:        st == engine.StrategyHolistic,
+		IdleQuiet:       *quiet,
+		IdleQuantum:     *quantum,
+		IdleWorkers:     *workers,
+		ScanParallelism: *scanPar,
+	})
+	defer eng.Close()
+
+	if *load != "" {
+		if err := preload(eng, *load, *seed); err != nil {
+			log.Fatalf("holisticd: -load: %v", err)
+		}
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	srv := server.New(server.Config{
+		Engine:      eng,
+		Gate:        loadgate.New(),
+		MaxInFlight: *maxIn,
+		Logf:        logf,
+	})
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+	log.Printf("holisticd: serving strategy %s on %s (protocol: docs/protocol.md)", st, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("holisticd: serve: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("holisticd: %v — draining in-flight statements", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("holisticd: forced shutdown: %v", err)
+		}
+	}
+	log.Printf("holisticd: bye")
+}
+
+func strategyByName(s string) (engine.Strategy, bool) {
+	for _, st := range engine.Strategies() {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return 0, false
+}
+
+// preload creates uniform columns from a spec like "r.a:1000000,r.b:500000".
+// Columns of one table must agree on the row count.
+func preload(eng *engine.Engine, spec string, seed uint64) error {
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, countStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return fmt.Errorf("bad spec %q, want table.col:n", part)
+		}
+		tabName, colName, ok := strings.Cut(name, ".")
+		if !ok {
+			return fmt.Errorf("bad column %q, want table.col", name)
+		}
+		n, err := strconv.Atoi(countStr)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad row count %q", countStr)
+		}
+		tab, err := eng.Table(tabName)
+		if err != nil {
+			if tab, err = eng.CreateTable(tabName); err != nil {
+				return err
+			}
+		}
+		vals := workload.UniformData(seed+uint64(i), n, 1, int64(n)+1)
+		if err := tab.AddColumnFromSlice(colName, vals); err != nil {
+			return err
+		}
+		log.Printf("holisticd: loaded %s.%s with %d uniform values in [1,%d]", tabName, colName, n, n)
+	}
+	return nil
+}

@@ -29,6 +29,12 @@
 //	res, _ := eng.Select("R", "A", 1000, 11000)   // cracks as a side effect
 //	eng.IdleActions(100)                          // exploit an idle moment
 //	fmt.Println(res.Count, res.Sum)
+//
+// The kernel also runs as a network server: cmd/holisticd serves sqlmini
+// statements over TCP (wire protocol in docs/protocol.md) with the idle
+// worker pool gated on live traffic, so every gap between client requests
+// is spent on index refinement — the deployment the paper assumes. See
+// README.md and ARCHITECTURE.md at the repository root.
 package holistic
 
 import (

@@ -42,6 +42,11 @@
 // Large uncracked columns additionally use a chunk-parallel scan
 // (Config.ScanParallelism, package scan) so even the no-index baseline
 // saturates the memory bandwidth of a multi-core box.
+//
+// Behind the network server (internal/server) the idle pool is additionally
+// gated on client traffic: SetLoadGate attaches a loadgate.Gate so that no
+// refinement step starts while any request is in flight, and traffic gaps
+// ramp the pool up (see package idle and package loadgate).
 package engine
 
 import (
@@ -188,6 +193,31 @@ func (e *Engine) idleWorkers() int {
 // Tuner exposes the holistic tuner for introspection (nil for other
 // strategies).
 func (e *Engine) Tuner() *core.Tuner { return e.tuner }
+
+// SetLoadGate attaches an external load signal (internal/loadgate) to the
+// automatic idle worker pool: while the gate reports requests in flight the
+// pool fully yields, and every refinement step takes an atomic token from
+// the gate so it can never start against live traffic. The network server
+// calls this so that idleness becomes an emergent property of client
+// traffic rather than of engine-level query activity alone. No-op for
+// strategies without an idle pool.
+func (e *Engine) SetLoadGate(g idle.Gate) {
+	if e.runner != nil {
+		e.runner.SetGate(g)
+	}
+}
+
+// AutoIdleActions returns how many refinement actions the automatic idle
+// worker pool has executed (zero for strategies without one). Manual
+// IdleActions windows are not counted: that path drives the tuner's
+// RunActionsParallel directly and never passes through the runner, so the
+// runner's action counter is auto-only from the engine's point of view.
+func (e *Engine) AutoIdleActions() int64 {
+	if e.runner == nil {
+		return 0
+	}
+	return e.runner.Actions()
+}
 
 // CreateTable registers a new, empty table.
 func (e *Engine) CreateTable(name string) (*Table, error) {

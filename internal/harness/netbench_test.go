@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunNetBenchSmall(t *testing.T) {
+	cfg := NetBenchConfig{
+		N:               30_000,
+		Clients:         4,
+		Bursts:          2,
+		QueriesPerBurst: 10,
+		Gap:             40 * time.Millisecond,
+		Seed:            3,
+		TargetPieceSize: 64,
+		IdleWorkers:     2,
+		IdleQuiet:       2 * time.Millisecond,
+	}
+	res, err := RunNetBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bursts) != 2 || len(res.Gaps) != 2 {
+		t.Fatalf("phases: %d bursts, %d gaps, want 2/2", len(res.Bursts), len(res.Gaps))
+	}
+	for i, b := range res.Bursts {
+		if b.Queries != cfg.Clients*cfg.QueriesPerBurst {
+			t.Fatalf("burst %d completed %d queries, want %d", i, b.Queries, cfg.Clients*cfg.QueriesPerBurst)
+		}
+		if b.P50 <= 0 || b.Max < b.P50 {
+			t.Fatalf("burst %d latencies implausible: %+v", i, b)
+		}
+	}
+	// With a 64-value target on 30k rows there is far more refinement work
+	// than the bursts' query cracks, so gaps must harvest actions.
+	harvested := int64(0)
+	for _, g := range res.Gaps {
+		harvested += g.IdleActions
+	}
+	if harvested == 0 {
+		t.Fatalf("no idle actions harvested in gaps: %+v", res.Gaps)
+	}
+	if res.Gate.InFlight != 0 || res.Gate.RunningSteps != 0 {
+		t.Fatalf("gate unbalanced after run: %+v", res.Gate)
+	}
+	// +1 for the synthetic setup pin RunNetBench holds while loading.
+	wantReq := int64(cfg.Clients*cfg.Bursts*cfg.QueriesPerBurst) + 1
+	if res.Gate.Completed != wantReq {
+		t.Fatalf("gate completed %d requests, want %d", res.Gate.Completed, wantReq)
+	}
+
+	out := FormatNetBench(res)
+	for _, needle := range []string{"Network benchmark", "burst0", "idle refinement", "final physical design"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("FormatNetBench output missing %q:\n%s", needle, out)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package idle
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"holistic/internal/loadgate"
+)
+
+// TestGateVetoesPool: with a load gate attached, a pool must not run a
+// single action while the gate reports in-flight requests — even when no
+// engine-level query is active — and must resume once the traffic gap
+// starts.
+func TestGateVetoesPool(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true },
+		WithQuiet(time.Millisecond), WithQuantum(4), WithWorkers(2))
+	g := loadgate.New()
+	r.SetGate(g)
+	g.Begin() // a request is in flight before the pool starts
+	r.Start()
+	defer r.Stop()
+	time.Sleep(20 * time.Millisecond)
+	if calls.Load() != 0 {
+		t.Fatalf("pool ran %d actions while the gate was busy", calls.Load())
+	}
+	g.End() // traffic gap begins
+	deadline := time.After(2 * time.Second)
+	for calls.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("pool never resumed after the traffic gap began")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if g.Snapshot().StepGrants == 0 {
+		t.Fatal("pool stepped without taking gate tokens")
+	}
+}
+
+// TestGateRecheckPreemptsStep: a request arriving between the worker's idle
+// check and the step must deny the step, exactly like the engine-level
+// claim/re-check. The test hook injects the arrival inside the claim
+// window; the gate token acquisition is what must catch it.
+func TestGateRecheckPreemptsStep(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true })
+	g := loadgate.New()
+	r.SetGate(g)
+	r.testHookClaim = func() {
+		g.Begin() // a request arrives mid-claim
+	}
+	if got := r.RunActions(1); got != 0 {
+		t.Fatalf("ran %d actions despite a request arriving inside the claim", got)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("step executed %d times against live traffic", calls.Load())
+	}
+	r.testHookClaim = nil
+	g.End()
+	if got := r.RunActions(3); got != 3 {
+		t.Fatalf("ran %d actions after the request drained, want 3", got)
+	}
+}
+
+// TestManualRunRespectsGate: manual idle windows consult the gate too.
+func TestManualRunRespectsGate(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true })
+	g := loadgate.New()
+	r.SetGate(g)
+	g.Begin()
+	if got := r.RunActions(10); got != 0 {
+		t.Fatalf("manual window ran %d actions while the gate was busy", got)
+	}
+	g.End()
+	if got := r.RunActions(10); got != 10 {
+		t.Fatalf("manual window ran %d actions in the gap, want 10", got)
+	}
+}
+
+// TestBurstRampsWithGapLength: the per-wakeup burst grows with the traffic
+// gap, capped at MaxRamp.
+func TestBurstRampsWithGapLength(t *testing.T) {
+	r := NewRunner(func() bool { return true },
+		WithQuiet(10*time.Millisecond), WithQuantum(8))
+	if got := r.burst(); got != 8 {
+		t.Fatalf("ungated burst = %d, want the plain quantum 8", got)
+	}
+	g := loadgate.New()
+	r.SetGate(g)
+	g.Begin()
+	g.End() // gap starts now
+	if got := r.burst(); got != 8 {
+		t.Fatalf("fresh-gap burst = %d, want 8", got)
+	}
+	time.Sleep(25 * time.Millisecond) // ~2.5 quiet periods into the gap
+	if got := r.burst(); got < 16 {
+		t.Fatalf("burst after a sustained gap = %d, want >= 16", got)
+	}
+	time.Sleep(100 * time.Millisecond) // far past MaxRamp quiet periods
+	if got := r.burst(); got != 8*MaxRamp {
+		t.Fatalf("burst = %d, want capped at %d", got, 8*MaxRamp)
+	}
+}

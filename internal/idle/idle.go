@@ -25,6 +25,16 @@
 // must be safe for concurrent calls when the pool has more than one worker;
 // the holistic tuner guarantees this via per-column action claims and
 // piece-level latches.
+//
+// Behind a network frontend, "a query is active" is too narrow a signal:
+// requests spend time queued, parsing and serialising around the engine
+// call, and the pool should already be out of the way. SetGate attaches an
+// external load signal (internal/loadgate) that the workers consult the
+// same way: a busy gate vetoes claims, the gate's quiet period must elapse
+// before the pool wakes, and each step additionally takes an atomic token
+// from the gate so a step never starts against live traffic. Sustained
+// traffic gaps ramp the per-wakeup burst up (see WithQuantum), so the pool
+// automatically works harder the longer the system stays quiet.
 package idle
 
 import (
@@ -42,6 +52,25 @@ const DefaultQuiet = 10 * time.Millisecond
 // wakeup before re-checking for activity.
 const DefaultQuantum = 16
 
+// MaxRamp caps the burst multiplier a long traffic gap can earn: a worker
+// never runs more than MaxRamp×quantum actions per wakeup, so the latency
+// of yielding to a fresh request stays bounded.
+const MaxRamp = 8
+
+// Gate is an external load signal the automatic workers yield to, in
+// addition to the engine-level query activity they already track. It is
+// implemented by internal/loadgate for the network server: Busy vetoes
+// claims while requests are in flight (queued or executing), QuietFor gates
+// wakeups on the traffic gap length (and ramps burst sizes during long
+// gaps), and StepBegin/StepEnd bracket every step with an atomic token so a
+// refinement action can never start while traffic is live.
+type Gate interface {
+	Busy() bool
+	QuietFor() time.Duration
+	StepBegin() bool
+	StepEnd()
+}
+
 // Runner schedules tuning actions into idle time. All methods are safe for
 // concurrent use.
 type Runner struct {
@@ -54,6 +83,7 @@ type Runner struct {
 	lastEnd atomic.Int64 // UnixNano of last query completion
 	actions atomic.Int64 // total actions executed
 	stopped atomic.Bool
+	gate    atomic.Value // Gate; external load signal, nil until SetGate
 
 	// testHookClaim, when non-nil, runs between a step's claim and the final
 	// activity re-check. Tests use it to provoke the query-arrives-mid-claim
@@ -118,6 +148,24 @@ func NewRunner(step func() bool, opts ...Option) *Runner {
 // Workers returns the size of the automatic worker pool.
 func (r *Runner) Workers() int { return r.workers }
 
+// SetGate attaches an external load gate. It may be called while the pool
+// is running (the server wires the gate after the engine is built); passing
+// the same gate again is harmless. The gate cannot be detached — a serving
+// frontend never stops being the load authority.
+func (r *Runner) SetGate(g Gate) {
+	if g != nil {
+		r.gate.Store(g)
+	}
+}
+
+// loadGate returns the attached gate, or nil.
+func (r *Runner) loadGate() Gate {
+	if v := r.gate.Load(); v != nil {
+		return v.(Gate)
+	}
+	return nil
+}
+
 // QueryBegin tells the runner a query entered the system. Automatic workers
 // finish (or abandon) their current claim and then yield.
 func (r *Runner) QueryBegin() { r.active.Add(1) }
@@ -135,14 +183,28 @@ func (r *Runner) Actions() int64 { return r.actions.Load() }
 // claimStep attempts to run exactly one tuning action. It re-checks query
 // activity after announcing the claim, closing the window in which a query
 // arriving between the caller's idle check and the step would have had a
-// refinement action land in its critical path. ran reports whether the step
-// executed; more is false only when the step function reports exhaustion.
+// refinement action land in its critical path. With a load gate attached
+// the step additionally holds a gate token, which is only ever issued while
+// the gate's in-flight request count is exactly zero. ran reports whether
+// the step executed; more is false only when the step function reports
+// exhaustion.
 func (r *Runner) claimStep() (ran, more bool) {
 	if r.active.Load() > 0 {
 		return false, true
 	}
+	g := r.loadGate()
+	if g != nil && g.Busy() {
+		return false, true
+	}
 	if h := r.testHookClaim; h != nil {
 		h()
+	}
+	if g != nil {
+		if !g.StepBegin() {
+			// A request arrived after the claim: yield without stepping.
+			return false, true
+		}
+		defer g.StepEnd()
 	}
 	if r.active.Load() > 0 {
 		// A query slipped in after the claim: yield without stepping.
@@ -171,13 +233,38 @@ func (r *Runner) RunActions(n int) int {
 	return done
 }
 
-// idleNow reports whether the system has been quiet long enough.
+// idleNow reports whether the system has been quiet long enough: no active
+// query, the engine-level quiet period elapsed, and — with a load gate
+// attached — no request in flight and the traffic gap at least as long.
 func (r *Runner) idleNow() bool {
 	if r.active.Load() > 0 {
 		return false
 	}
+	if g := r.loadGate(); g != nil {
+		if g.Busy() || g.QuietFor() < r.quiet {
+			return false
+		}
+	}
 	last := time.Unix(0, r.lastEnd.Load())
 	return time.Since(last) >= r.quiet
+}
+
+// burst returns how many actions a worker should attempt this wakeup. The
+// base quantum is multiplied by how many quiet periods the current traffic
+// gap spans (capped at MaxRamp), so the pool ramps up during sustained gaps
+// and falls back to cautious quanta the moment traffic resumes.
+func (r *Runner) burst() int {
+	g := r.loadGate()
+	if g == nil {
+		return r.quantum
+	}
+	mult := int(g.QuietFor() / r.quiet)
+	if mult < 1 {
+		mult = 1
+	} else if mult > MaxRamp {
+		mult = MaxRamp
+	}
+	return r.quantum * mult
 }
 
 // Start launches the automatic worker pool. It is a no-op if already
@@ -227,7 +314,7 @@ func (r *Runner) loop(stop <-chan struct{}) {
 			if !r.idleNow() {
 				continue
 			}
-			for i := 0; i < r.quantum; i++ {
+			for i, n := 0, r.burst(); i < n; i++ {
 				if r.stopped.Load() {
 					break
 				}

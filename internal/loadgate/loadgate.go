@@ -1,0 +1,215 @@
+// Package loadgate turns client traffic into the idle signal that drives
+// holistic indexing behind a network frontend. The paper's premise is that a
+// running DBMS has gaps between requests and that every such gap should be
+// spent on index refinement — but "idle" must be an emergent property of the
+// actual traffic, not a guess. A Gate sits between the server (which reports
+// request lifecycle via Begin/End) and the idle worker pool (which asks for
+// permission to run refinement steps via StepBegin/StepEnd), and enforces
+// the paper's contract from both sides:
+//
+//   - While any request is in flight — admitted, queued or executing — no
+//     new refinement step is granted, so tuning work never competes with a
+//     client query for cores or latches.
+//   - The moment the in-flight count drops to zero a traffic gap begins, and
+//     refinement steps are granted freely until the next request arrives.
+//
+// The check is atomic, not advisory: the in-flight count and the number of
+// refinement steps currently running are packed into one atomic word, and a
+// step token is only ever issued by a compare-and-swap that witnessed an
+// in-flight count of exactly zero. A request can still arrive while a step
+// is already running — steps are small and bounded (one crack action), and
+// the idle pool's claim/re-check protocol yields at the next step boundary —
+// but a step can never *start* against live traffic.
+//
+// The Gate also keeps the bookkeeping the server, benchmarks and tests need:
+// traffic-gap transitions, refinement grants and rejections, and an
+// exponentially-decayed arrival rate that reports how bursty recent traffic
+// has been.
+package loadgate
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// stepperBits is how many low bits of the packed state word hold the count
+// of refinement steps currently running; the remaining high bits hold the
+// in-flight request count. 2^24 concurrent idle steps is unreachable (the
+// pool is sized in the dozens), and 2^39 in-flight requests exceeds any
+// plausible admission bound.
+const stepperBits = 24
+
+const stepperMask = (1 << stepperBits) - 1
+
+// rateHalfLife is the half-life of the arrival-rate EWMA: recent bursts
+// dominate, traffic from a few seconds ago fades.
+const rateHalfLife = time.Second
+
+// Gate tracks server load and arbitrates idle refinement against it. The
+// zero value is not ready; use New. All methods are safe for concurrent use.
+type Gate struct {
+	// state packs inFlight<<stepperBits | runningSteps.
+	state atomic.Int64
+
+	// quietSince is the UnixNano instant the in-flight count last reached
+	// zero (i.e. the start of the current traffic gap). Only meaningful
+	// while the gate is not busy.
+	quietSince atomic.Int64
+
+	arrivals  atomic.Int64 // requests ever admitted
+	completed atomic.Int64 // requests ever finished
+	grants    atomic.Int64 // refinement step tokens issued
+	rejected  atomic.Int64 // step requests denied because traffic was live
+	gaps      atomic.Int64 // busy -> idle transitions observed
+
+	// Arrival-rate EWMA, guarded by rateMu (updated on the request path but
+	// only with a cheap decay-and-add).
+	rateMu   sync.Mutex
+	rate     float64 // requests per second, exponentially decayed
+	rateMark int64   // UnixNano of the last rate update
+}
+
+// New returns a Gate that considers the current instant the start of its
+// first traffic gap.
+func New() *Gate {
+	g := &Gate{}
+	now := time.Now().UnixNano()
+	g.quietSince.Store(now)
+	g.rateMark = now
+	return g
+}
+
+// Begin reports that a request entered the system (admitted by the server,
+// whether queued or executing). From this instant until the matching End,
+// no refinement step will be granted.
+func (g *Gate) Begin() {
+	g.arrivals.Add(1)
+	g.state.Add(1 << stepperBits)
+	g.bumpRate()
+}
+
+// End reports that a request finished (its response was written or its
+// connection died). If it was the last one in flight, a traffic gap begins.
+func (g *Gate) End() {
+	g.completed.Add(1)
+	s := g.state.Add(-(1 << stepperBits))
+	if s>>stepperBits == 0 {
+		g.quietSince.Store(time.Now().UnixNano())
+		g.gaps.Add(1)
+	}
+}
+
+// InFlight returns the number of requests currently in the system.
+func (g *Gate) InFlight() int64 { return g.state.Load() >> stepperBits }
+
+// Busy reports whether any request is in flight. The idle pool treats a
+// busy gate exactly like an in-progress query: it yields.
+func (g *Gate) Busy() bool { return g.InFlight() > 0 }
+
+// QuietFor returns how long the current traffic gap has lasted, or zero if
+// a request is in flight. The idle pool uses it both as a quiet-period
+// check and as the ramp signal for longer refinement bursts.
+func (g *Gate) QuietFor() time.Duration {
+	s := g.state.Load()
+	if s>>stepperBits != 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - g.quietSince.Load())
+}
+
+// StepBegin asks for permission to run one idle refinement step. It grants
+// the token — atomically, only while the in-flight request count is exactly
+// zero — and returns true, or returns false if traffic is live. Every
+// granted token must be returned with StepEnd.
+func (g *Gate) StepBegin() bool {
+	for {
+		s := g.state.Load()
+		if s>>stepperBits != 0 {
+			g.rejected.Add(1)
+			return false
+		}
+		if g.state.CompareAndSwap(s, s+1) {
+			g.grants.Add(1)
+			return true
+		}
+	}
+}
+
+// StepEnd returns a token obtained from StepBegin.
+func (g *Gate) StepEnd() {
+	g.state.Add(-1)
+}
+
+// RunningSteps returns how many granted refinement steps are executing
+// right now.
+func (g *Gate) RunningSteps() int64 { return g.state.Load() & stepperMask }
+
+// ArrivalRate returns the exponentially-decayed request arrival rate in
+// requests per second (half-life one second). It decays toward zero during
+// traffic gaps.
+func (g *Gate) ArrivalRate() float64 {
+	g.rateMu.Lock()
+	defer g.rateMu.Unlock()
+	g.decayLocked(time.Now().UnixNano())
+	return g.rate
+}
+
+// bumpRate decays the EWMA to now and credits one arrival.
+func (g *Gate) bumpRate() {
+	now := time.Now().UnixNano()
+	g.rateMu.Lock()
+	g.decayLocked(now)
+	// Each arrival carries weight λ = ln2/halfLife (in per-second units),
+	// the decay rate of the EWMA: an impulse train of r arrivals/sec then
+	// sums to r·λ/λ, so a steady stream converges to rate ≈ r.
+	g.rate += math.Ln2 * float64(time.Second) / float64(rateHalfLife)
+	g.rateMu.Unlock()
+}
+
+// decayLocked ages the EWMA to instant now. Callers hold rateMu.
+func (g *Gate) decayLocked(now int64) {
+	dt := now - g.rateMark
+	if dt <= 0 {
+		return
+	}
+	g.rateMark = now
+	halves := float64(dt) / float64(rateHalfLife)
+	if halves > 60 {
+		g.rate = 0
+		return
+	}
+	g.rate *= math.Exp2(-halves)
+}
+
+// Stats is a consistent-enough snapshot of the gate's counters for
+// reporting. Counters are read individually, so a snapshot taken under
+// traffic may be off by in-progress increments; quiesce first for exact
+// numbers.
+type Stats struct {
+	InFlight     int64   `json:"in_flight"`
+	RunningSteps int64   `json:"running_steps"`
+	Arrivals     int64   `json:"arrivals"`
+	Completed    int64   `json:"completed"`
+	StepGrants   int64   `json:"step_grants"`
+	StepRejected int64   `json:"step_rejected"`
+	Gaps         int64   `json:"gaps"`
+	ArrivalRate  float64 `json:"arrival_rate"`
+	QuietForUS   int64   `json:"quiet_for_us"`
+}
+
+// Snapshot returns the gate's current counters.
+func (g *Gate) Snapshot() Stats {
+	return Stats{
+		InFlight:     g.InFlight(),
+		RunningSteps: g.RunningSteps(),
+		Arrivals:     g.arrivals.Load(),
+		Completed:    g.completed.Load(),
+		StepGrants:   g.grants.Load(),
+		StepRejected: g.rejected.Load(),
+		Gaps:         g.gaps.Load(),
+		ArrivalRate:  g.ArrivalRate(),
+		QuietForUS:   g.QuietFor().Microseconds(),
+	}
+}

@@ -2,55 +2,130 @@ package sqlmini
 
 import (
 	"fmt"
+	"time"
 
 	"holistic/internal/engine"
 )
 
-// Exec parses and executes one statement against the engine, returning a
-// human-readable result line.
-func Exec(e *engine.Engine, input string) (string, error) {
+// Kind identifies what a Result describes.
+type Kind int
+
+// Result kinds.
+const (
+	KindSelect Kind = iota
+	KindInsert
+	KindDelete
+)
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	switch k {
+	case KindSelect:
+		return "select"
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Result is the structured outcome of one statement — what the network
+// server serialises onto the wire, and what String renders for humans.
+type Result struct {
+	Kind Kind
+	// Agg, Count and Sum are set for selects.
+	Agg   Aggregate
+	Count int
+	Sum   int64
+	// Row is the id of the row an insert appended.
+	Row uint32
+	// Matched reports whether a delete found a row.
+	Matched bool
+	// Elapsed is the statement's execution time as seen by the caller.
+	Elapsed time.Duration
+}
+
+// String renders the result as the one-line human-readable form holishell
+// prints.
+func (r *Result) String() string {
+	switch r.Kind {
+	case KindSelect:
+		switch r.Agg {
+		case AggCount:
+			return fmt.Sprintf("count=%d (%v)", r.Count, r.Elapsed)
+		case AggSum:
+			return fmt.Sprintf("sum=%d (%v)", r.Sum, r.Elapsed)
+		default:
+			return fmt.Sprintf("count=%d sum=%d (%v)", r.Count, r.Sum, r.Elapsed)
+		}
+	case KindInsert:
+		return fmt.Sprintf("inserted row %d", r.Row)
+	case KindDelete:
+		if !r.Matched {
+			return "no row matched"
+		}
+		return "deleted 1 row"
+	default:
+		return fmt.Sprintf("%+v", *r)
+	}
+}
+
+// Run parses and executes one statement against the engine, returning the
+// structured result.
+func Run(e *engine.Engine, input string) (*Result, error) {
 	stmt, err := Parse(input)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		res, err := e.Select(s.Table, s.Column, s.Lo, s.Hi)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		switch s.Agg {
-		case AggCount:
-			return fmt.Sprintf("count=%d (%v)", res.Count, res.Elapsed), nil
-		case AggSum:
-			return fmt.Sprintf("sum=%d (%v)", res.Sum, res.Elapsed), nil
-		default:
-			return fmt.Sprintf("count=%d sum=%d (%v)", res.Count, res.Sum, res.Elapsed), nil
-		}
+		return &Result{
+			Kind:    KindSelect,
+			Agg:     s.Agg,
+			Count:   res.Count,
+			Sum:     res.Sum,
+			Elapsed: res.Elapsed,
+		}, nil
 	case *InsertStmt:
+		start := time.Now()
 		tab, err := e.Table(s.Table)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		row, err := tab.InsertRow(s.Values...)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return fmt.Sprintf("inserted row %d", row), nil
+		return &Result{Kind: KindInsert, Row: row, Elapsed: time.Since(start)}, nil
 	case *DeleteStmt:
+		start := time.Now()
 		tab, err := e.Table(s.Table)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		ok, err := tab.DeleteWhere(s.Column, s.Value)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		if !ok {
-			return "no row matched", nil
-		}
-		return "deleted 1 row", nil
+		return &Result{Kind: KindDelete, Matched: ok, Elapsed: time.Since(start)}, nil
 	default:
-		return "", fmt.Errorf("sqlmini: unhandled statement %T", stmt)
+		return nil, fmt.Errorf("sqlmini: unhandled statement %T", stmt)
 	}
+}
+
+// Exec parses and executes one statement against the engine, returning a
+// human-readable result line. It is Run plus String — the interactive-shell
+// surface.
+func Exec(e *engine.Engine, input string) (string, error) {
+	r, err := Run(e, input)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
 }
