@@ -1,0 +1,176 @@
+// Command benchcheck validates a BENCH_*.json benchmark artefact against a
+// JSON schema, exiting nonzero on any violation. CI runs it on both the
+// freshly emitted and the committed BENCH_shard.json so the benchmark's
+// machine-readable contract can never rot silently.
+//
+// Usage:
+//
+//	benchcheck -schema docs/bench_shard.schema.json BENCH_shard.json
+//
+// It implements the subset of JSON Schema the bench schemas use — type,
+// required, properties, items, enum, const, minimum, minItems — with no
+// external dependencies.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "path to the JSON schema")
+	flag.Parse()
+	if *schemaPath == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck -schema <schema.json> <bench.json>")
+		os.Exit(2)
+	}
+
+	schema, err := loadJSON(*schemaPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: schema: %v\n", err)
+		os.Exit(2)
+	}
+	doc, err := loadJSON(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	var errs []string
+	validate(doc, schema.(map[string]any), "$", &errs)
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %s\n", flag.Arg(0), e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %s conforms to %s\n", flag.Arg(0), *schemaPath)
+}
+
+func loadJSON(path string) (any, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}
+
+// validate checks v against the schema node, appending violations to errs
+// with JSONPath-ish locations.
+func validate(v any, schema map[string]any, path string, errs *[]string) {
+	if t, ok := schema["type"].(string); ok && !hasType(v, t) {
+		*errs = append(*errs, fmt.Sprintf("%s: expected %s, got %s", path, t, typeName(v)))
+		return
+	}
+	if c, ok := schema["const"]; ok && !jsonEqual(v, c) {
+		*errs = append(*errs, fmt.Sprintf("%s: must equal %v, got %v", path, c, v))
+	}
+	if enum, ok := schema["enum"].([]any); ok {
+		found := false
+		for _, e := range enum {
+			if jsonEqual(v, e) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			*errs = append(*errs, fmt.Sprintf("%s: %v not in enum %v", path, v, enum))
+		}
+	}
+	if min, ok := schema["minimum"].(float64); ok {
+		if n, isNum := v.(float64); isNum && n < min {
+			*errs = append(*errs, fmt.Sprintf("%s: %v below minimum %v", path, n, min))
+		}
+	}
+	switch val := v.(type) {
+	case map[string]any:
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				key, _ := r.(string)
+				if _, present := val[key]; !present {
+					*errs = append(*errs, fmt.Sprintf("%s: missing required field %q", path, key))
+				}
+			}
+		}
+		if props, ok := schema["properties"].(map[string]any); ok {
+			for key, sub := range props {
+				subSchema, ok := sub.(map[string]any)
+				if !ok {
+					continue
+				}
+				if fv, present := val[key]; present {
+					validate(fv, subSchema, path+"."+key, errs)
+				}
+			}
+		}
+	case []any:
+		if mi, ok := schema["minItems"].(float64); ok && float64(len(val)) < mi {
+			*errs = append(*errs, fmt.Sprintf("%s: %d items, need at least %.0f", path, len(val), mi))
+		}
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, item := range val {
+				validate(item, items, fmt.Sprintf("%s[%d]", path, i), errs)
+			}
+		}
+	}
+}
+
+// hasType checks v against a JSON-schema primitive type name. encoding/json
+// decodes every number as float64, so "integer" additionally demands a whole
+// value.
+func hasType(v any, t string) bool {
+	switch t {
+	case "object":
+		_, ok := v.(map[string]any)
+		return ok
+	case "array":
+		_, ok := v.([]any)
+		return ok
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "boolean":
+		_, ok := v.(bool)
+		return ok
+	case "number":
+		_, ok := v.(float64)
+		return ok
+	case "integer":
+		n, ok := v.(float64)
+		return ok && n == math.Trunc(n)
+	case "null":
+		return v == nil
+	}
+	return false
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case nil:
+		return "null"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+func jsonEqual(a, b any) bool {
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	return string(ja) == string(jb)
+}

@@ -10,6 +10,8 @@
 //	holisticbench -exp table2 -queries 10000       # Table 2 (all three X)
 //	holisticbench -exp fig3 -csv fig3.csv          # also dump CSV series
 //	holisticbench -exp net -clients 8 -bursts 4    # closed-loop network bench
+//	holisticbench -exp shard                       # shard sweep -> BENCH_shard.json
+//	holisticbench -exp shard -smoke                # tiny CI-sized shard sweep
 //
 // The paper's scale is -n 100000000 -queries 10000 (needs ~6 GB and
 // patience); defaults are laptop-sized and preserve the curves' shape.
@@ -19,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"holistic/internal/harness"
@@ -26,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|table1|table2|net|all")
+		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|table1|table2|net|shard|all")
 		n       = flag.Int("n", 1<<20, "rows per column")
 		queries = flag.Int("queries", 2000, "queries per run")
 		x       = flag.Int("x", 100, "refinement actions per idle window (fig3)")
@@ -43,6 +47,9 @@ func main() {
 		bursts  = flag.Int("bursts", 4, "busy/gap phases (net)")
 		burstQ  = flag.Int("burst-q", 50, "queries per client per burst (net)")
 		gap     = flag.Duration("gap", 200*time.Millisecond, "traffic gap between bursts (net)")
+		shards  = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep (shard)")
+		out     = flag.String("out", "BENCH_shard.json", "output path for the shard sweep JSON (shard)")
+		smoke   = flag.Bool("smoke", false, "CI smoke mode: shrink the shard sweep to seconds (shard)")
 		csvPath = flag.String("csv", "", "write cumulative series CSV to this file")
 		width   = flag.Int("plot-width", 72, "ASCII plot width")
 		height  = flag.Int("plot-height", 18, "ASCII plot height")
@@ -137,6 +144,62 @@ func main() {
 		return nil
 	})
 
+	// The shard sweep is explicit-only (not part of -exp all): it writes
+	// BENCH_shard.json, and timing sweeps deserve a quiet machine.
+	runShard := func(f func() error) {
+		if *exp != "shard" {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "shard: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	runShard(func() error {
+		counts, err := parseShardCounts(*shards)
+		if err != nil {
+			return err
+		}
+		// Like -exp net: with N shards every query cracks 2 boundaries in
+		// EVERY shard, so the design reaches a paper-scale 16K target before
+		// the first idle window and the harvest column would read all zeros.
+		// Unless -target was given explicitly, sweep with a much finer
+		// target so idle refinement stays observable at every shard count.
+		shardTarget := 1 << 7
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "target" {
+				shardTarget = *target
+			}
+		})
+		cfg := harness.ShardBenchConfig{
+			N: *n, Queries: *queries, ShardCounts: counts,
+			Selectivity: *sel, Seed: *seed, TargetPieceSize: shardTarget,
+			IdleEvery: *idleEv, IdleX: *x,
+		}
+		if *smoke {
+			// Small enough for a CI job, large enough that the fan-out and
+			// oracle checks still mean something.
+			cfg.N, cfg.Queries = 1<<17, 300
+			cfg.ShardCounts = []int{1, 2, 4}
+			cfg.IdleEvery, cfg.IdleX = 50, 50
+		}
+		res, err := harness.RunShardBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatShardBench(res))
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := harness.WriteShardBenchJSON(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("shard sweep written to %s\n", *out)
+		return nil
+	})
+
 	run("fig4", func() error {
 		res, err := harness.RunFig4(harness.Fig4Config{
 			Columns: *cols, N: *n, Queries: *queries, Selectivity: *sel,
@@ -152,6 +215,25 @@ func main() {
 		fmt.Println(harness.ASCIIPlot(title, []*harness.Series{&res.Offline, &res.Holistic}, *width, *height))
 		return nil
 	})
+}
+
+func parseShardCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid shard count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("empty -shards list")
+	}
+	return counts, nil
 }
 
 func writeCSV(path string, res *harness.Fig3Result) error {

@@ -47,6 +47,7 @@ func main() {
 		quiet   = flag.Duration("idle-quiet", 10*time.Millisecond, "traffic gap length before idle refinement starts")
 		quantum = flag.Int("idle-quantum", 0, "refinement actions per idle wakeup (0 = default)")
 		scanPar = flag.Int("scan-par", 0, "goroutines per full-column scan (<=1 = serial)")
+		shards  = flag.Int("shards", 1, "striped shards per column: selects fan out across them (<=1 = unsharded)")
 		maxIn   = flag.Int("max-inflight", server.DefaultMaxInFlight, "bounded admission: max statements in the system")
 		load    = flag.String("load", "", "preload spec: comma-separated table.col:n uniform columns, e.g. r.a:1000000,r.b:1000000")
 		verbose = flag.Bool("v", false, "log connection-level events")
@@ -67,6 +68,7 @@ func main() {
 		IdleQuantum:     *quantum,
 		IdleWorkers:     *workers,
 		ScanParallelism: *scanPar,
+		Shards:          *shards,
 	})
 	defer eng.Close()
 

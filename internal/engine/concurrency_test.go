@@ -137,12 +137,8 @@ func TestConcurrentManualIdleAndQueries(t *testing.T) {
 	}
 	// Index integrity after the storm.
 	cs, _ := e.colState("R", "A")
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.crack != nil {
-		if err := cs.crack.Validate(); err != nil {
-			t.Fatal(err)
-		}
+	if err := cs.validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -193,15 +189,10 @@ func TestConcurrentUpdatesAndQueries(t *testing.T) {
 
 	// Final integrity: a fresh query must agree with a tombstone-aware scan.
 	cs, _ := e.colState("R", "A")
-	cs.mu.Lock()
-	wantCount, wantSum := cs.scanShared(0, 1<<40)
-	if cs.crack != nil {
-		if err := cs.crack.Validate(); err != nil {
-			cs.mu.Unlock()
-			t.Fatal(err)
-		}
+	wantCount, wantSum := cs.oracleScan(0, 1<<40)
+	if err := cs.validate(); err != nil {
+		t.Fatal(err)
 	}
-	cs.mu.Unlock()
 	r, err := e.Select("R", "A", 0, 1<<40)
 	if err != nil {
 		t.Fatal(err)

@@ -19,9 +19,12 @@ type ColumnDesign struct {
 	// Pieces / AvgPieceSize describe the cracker index (0 when !Cracked).
 	Pieces       int
 	AvgPieceSize float64
-	// PendingInserts / PendingDeletes count buffered updates not yet merged.
+	// PendingInserts / PendingDeletes count buffered updates not yet merged,
+	// summed across shards.
 	PendingInserts int
 	PendingDeletes int
+	// Shards is the number of striped parts the column is split into.
+	Shards int
 }
 
 // DescribePhysicalDesign returns the current physical design of every
@@ -45,20 +48,18 @@ func (e *Engine) DescribePhysicalDesign() []ColumnDesign {
 		}
 		t.mu.RUnlock()
 		for i, cs := range cols {
-			cs.mu.Lock()
 			d := ColumnDesign{
 				Table:     t.name,
 				Column:    names[i],
 				Rows:      live,
-				FullIndex: cs.sorted != nil,
-				Cracked:   cs.crack != nil,
+				FullIndex: cs.hasSorted(),
+				Cracked:   cs.anyCracked(),
+				Shards:    cs.sc.Shards(),
 			}
-			if cs.crack != nil {
-				d.Pieces = cs.crack.Pieces()
-				d.AvgPieceSize = cs.crack.AvgPieceSize()
+			if d.Cracked {
+				d.Pieces, d.AvgPieceSize = cs.pieceStats()
 			}
-			d.PendingInserts, d.PendingDeletes = cs.pending.Counts()
-			cs.mu.Unlock()
+			d.PendingInserts, d.PendingDeletes = cs.pendingCounts()
 			out = append(out, d)
 		}
 	}
@@ -74,8 +75,8 @@ func (e *Engine) DescribePhysicalDesign() []ColumnDesign {
 // FormatPhysicalDesign renders DescribePhysicalDesign as a table.
 func FormatPhysicalDesign(ds []ColumnDesign) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %10s %6s %8s %8s %10s %9s %9s\n",
-		"column", "rows", "full", "cracked", "pieces", "avg-piece", "pend-ins", "pend-del")
+	fmt.Fprintf(&b, "%-20s %10s %7s %6s %8s %8s %10s %9s %9s\n",
+		"column", "rows", "shards", "full", "cracked", "pieces", "avg-piece", "pend-ins", "pend-del")
 	for _, d := range ds {
 		yes := func(v bool) string {
 			if v {
@@ -83,8 +84,8 @@ func FormatPhysicalDesign(ds []ColumnDesign) string {
 			}
 			return "-"
 		}
-		fmt.Fprintf(&b, "%-20s %10d %6s %8s %8d %10.0f %9d %9d\n",
-			d.Table+"."+d.Column, d.Rows, yes(d.FullIndex), yes(d.Cracked),
+		fmt.Fprintf(&b, "%-20s %10d %7d %6s %8s %8d %10.0f %9d %9d\n",
+			d.Table+"."+d.Column, d.Rows, d.Shards, yes(d.FullIndex), yes(d.Cracked),
 			d.Pieces, d.AvgPieceSize, d.PendingInserts, d.PendingDeletes)
 	}
 	return b.String()
@@ -92,18 +93,17 @@ func FormatPhysicalDesign(ds []ColumnDesign) string {
 
 // Consolidate prunes redundant crack boundaries on a column: zero-width
 // pieces always, and adjacent pieces whose merged size stays at or below
-// minPiece when minPiece > 0. It returns the number of boundaries removed.
-// This is the kernel's index-maintenance primitive, safe to run during idle
-// time; query results are never affected.
+// minPiece when minPiece > 0. It returns the number of boundaries removed,
+// summed across the column's shards. This is the kernel's index-maintenance
+// primitive, safe to run during idle time; query results are never affected.
 func (e *Engine) Consolidate(table, col string, minPiece int) (int, error) {
 	cs, err := e.colState(table, col)
 	if err != nil {
 		return 0, err
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.crack == nil {
-		return 0, nil
+	removed := 0
+	for _, p := range cs.sc.Parts() {
+		removed += p.Consolidate(minPiece)
 	}
-	return cs.crack.Consolidate(minPiece), nil
+	return removed, nil
 }

@@ -13,18 +13,24 @@
 //
 // # Concurrency model
 //
-// The kernel is multi-core end to end, latched at three granularities:
+// The kernel is multi-core end to end, latched at four granularities:
 //
 //   - Catalog: Engine.mu and Table.mu (RWMutex) guard table/column maps;
 //     row inserts and deletes hold the table lock, so rows are added to all
 //     columns atomically.
-//   - Column: every colState has a reader/writer latch. The WRITE side is
+//   - Shard: every column is split into Config.Shards striped parts
+//     (package shard), each owning its own cracker index, crack tree,
+//     sorted index, pending buffer and latch. Selects fan out one goroutine
+//     per shard and merge partial aggregates, so a single large select
+//     executes on multiple cores — intra-query parallelism, not just
+//     inter-query.
+//   - Part: every shard.Part has a reader/writer latch. The WRITE side is
 //     only for structural changes — materialising the cracked copy, merging
 //     pending updates into it (ripple moves shift piece positions),
 //     (re)building or dropping the sorted index, tombstoning deletes, and
 //     stochastic-variant selects. The READ side admits any number of
 //     queries and idle workers simultaneously.
-//   - Piece: under the shared column latch, work on the cracker index is
+//   - Piece: under the shared part latch, work on the cracker index is
 //     coordinated by the index's own piece-level latches (see package
 //     cracker): a select or idle action that splits a piece write-latches
 //     just that piece; reads of already-cracked ranges take per-piece read
@@ -35,9 +41,11 @@
 // Idle refinement is preemptible at action granularity: each worker claims
 // one action, re-checks for an in-flight query inside the claim, and yields
 // immediately if one arrived (package idle). The holistic tuner makes
-// concurrent claims useful by sharding its action queue per column with
-// atomic ownership flags (package core), so a pool of workers fans out
-// across columns instead of convoying on one latch.
+// concurrent claims useful by sharding its action queue with atomic
+// ownership flags (package core); every shard.Part registers as its own
+// queue shard, so a pool of workers fans out across column shards instead
+// of convoying on one latch, and idle refinement drains N shards of one
+// column concurrently during a traffic gap.
 //
 // Large uncracked columns additionally use a chunk-parallel scan
 // (Config.ScanParallelism, package scan) so even the no-index baseline
@@ -59,6 +67,7 @@ import (
 	"holistic/internal/core"
 	"holistic/internal/idle"
 	"holistic/internal/monitor"
+	"holistic/internal/shard"
 	"holistic/internal/stats"
 	"holistic/internal/stochastic"
 )
@@ -109,8 +118,14 @@ type Config struct {
 	// <= 0 selects GOMAXPROCS — one refinement stream per core.
 	IdleWorkers int
 	// ScanParallelism caps the goroutines a single full-column scan fans
-	// out to on large uncracked columns. <= 1 scans serially.
+	// out to on large uncracked columns. <= 1 scans serially. With Shards >
+	// 1 the budget is divided across the shards' concurrent scans.
 	ScanParallelism int
+	// Shards splits every column into this many striped parts, each with
+	// its own cracker index, piece latches and idle action queue; selects
+	// fan out one goroutine per shard and merge. <= 1 keeps one part per
+	// column (the pre-sharding behaviour). See package shard.
+	Shards int
 }
 
 // Result is the outcome of one select: the projection's cardinality and sum
@@ -190,6 +205,36 @@ func (e *Engine) idleWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// shardConfig derives the per-column sharding configuration. The scan
+// fan-out budget is split across shards so Shards × ScanParallelism never
+// multiplies into more goroutines than the caller asked for.
+func (e *Engine) shardConfig() shard.Config {
+	n := e.cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	par := e.cfg.ScanParallelism
+	if n > 1 && par > 1 {
+		par = (par + n - 1) / n
+	}
+	return shard.Config{
+		Shards:              n,
+		Stochastic:          e.cfg.Stochastic,
+		StochasticThreshold: e.cfg.StochasticThreshold,
+		RadixBuild:          e.cfg.RadixBuild,
+		ScanParallelism:     par,
+		Seed:                e.cfg.Seed,
+	}
+}
+
+// Shards returns the effective per-column shard count.
+func (e *Engine) Shards() int {
+	if e.cfg.Shards < 1 {
+		return 1
+	}
+	return e.cfg.Shards
+}
+
 // Tuner exposes the holistic tuner for introspection (nil for other
 // strategies).
 func (e *Engine) Tuner() *core.Tuner { return e.tuner }
@@ -252,18 +297,18 @@ func (e *Engine) colState(table, col string) (*colState, error) {
 }
 
 // BuildFullIndex builds (or rebuilds) a full sorted index on the column and
-// returns the wall time the build took. This is the offline-indexing
-// primitive: the harness calls it during modelled a-priori idle time, and
-// charges any uncovered remainder to the first query, as the paper does.
+// returns the wall time the build took. The per-shard builds run
+// concurrently, so a multi-core box pays roughly one shard's sort time.
+// This is the offline-indexing primitive: the harness calls it during
+// modelled a-priori idle time, and charges any uncovered remainder to the
+// first query, as the paper does.
 func (e *Engine) BuildFullIndex(table, col string) (time.Duration, error) {
 	cs, err := e.colState(table, col)
 	if err != nil {
 		return 0, err
 	}
 	start := time.Now()
-	cs.mu.Lock()
-	cs.buildSortedLocked()
-	cs.mu.Unlock()
+	cs.buildSortedAll()
 	return time.Since(start), nil
 }
 
@@ -273,9 +318,7 @@ func (e *Engine) DropFullIndex(table, col string) error {
 	if err != nil {
 		return err
 	}
-	cs.mu.Lock()
-	cs.sorted = nil
-	cs.mu.Unlock()
+	cs.dropSortedAll()
 	if e.advisor != nil {
 		e.advisor.SetIndexed(cs.name, false)
 	}
@@ -310,36 +353,37 @@ func (e *Engine) IdleActions(n int) (actions int, work int64) {
 }
 
 // SeedWorkloadHint injects a-priori workload knowledge for the holistic
-// tuner: weight synthetic queries over [lo, hi) of the column. No-op for
-// other strategies.
+// tuner: weight synthetic queries over [lo, hi) of the column, recorded
+// against every shard (a range query touches all of them). No-op for other
+// strategies.
 func (e *Engine) SeedWorkloadHint(table, col string, lo, hi int64, weight int) error {
 	cs, err := e.colState(table, col)
 	if err != nil {
 		return err
 	}
 	if e.tuner != nil {
-		e.tuner.SeedWorkload(cs.name, lo, hi, weight)
+		for _, p := range cs.sc.Parts() {
+			e.tuner.SeedWorkload(p.Name(), lo, hi, weight)
+		}
 	}
 	return nil
 }
 
 // applyAdvice executes one online-advisor recommendation, reporting whether
-// it was applied. Callers must not hold any column latch (the build locks
-// the target column).
+// it was applied. Callers must not hold any part latch (the build locks the
+// target column's parts one by one).
 func (e *Engine) applyAdvice(adv monitor.Advice) bool {
 	cs := e.findByQualifiedName(adv.Column)
 	if cs == nil {
 		return false
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	switch {
-	case adv.Build && cs.sorted == nil:
-		cs.buildSortedLocked()
+	case adv.Build && !cs.hasSorted():
+		cs.buildSortedAll()
 		e.advisor.SetIndexed(cs.name, true)
 		return true
-	case adv.Drop && cs.sorted != nil:
-		cs.sorted = nil
+	case adv.Drop && cs.hasSorted():
+		cs.dropSortedAll()
 		e.advisor.SetIndexed(cs.name, false)
 		return true
 	}
@@ -363,21 +407,26 @@ func (e *Engine) findByQualifiedName(name string) *colState {
 	return nil
 }
 
-// PieceStats reports the physical state of a column's cracker index:
-// (pieces, avgPieceSize). A column never cracked reports (1, n).
+// PieceStats reports the physical state of a column's cracker indexes
+// aggregated across its shards: (pieces, avgPieceSize). A single-shard
+// column never cracked reports (1, n); with S shards each uncracked part
+// counts as one piece.
 func (e *Engine) PieceStats(table, col string) (pieces int, avg float64, err error) {
 	cs, e2 := e.colState(table, col)
 	if e2 != nil {
 		return 0, 0, e2
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.crack == nil {
-		n := cs.col.Len()
-		if n == 0 {
-			return 0, 0, nil
-		}
-		return 1, float64(n), nil
+	pieces, avg = cs.pieceStats()
+	return pieces, avg, nil
+}
+
+// ShardStats reports a column's shard count and the highest number of
+// per-shard select workers ever observed running concurrently on it — the
+// direct evidence of intra-query parallelism the shard benchmark records.
+func (e *Engine) ShardStats(table, col string) (shards, maxFanOut int, err error) {
+	cs, e2 := e.colState(table, col)
+	if e2 != nil {
+		return 0, 0, e2
 	}
-	return cs.crack.Pieces(), cs.crack.AvgPieceSize(), nil
+	return cs.sc.Shards(), cs.sc.MaxFanOut(), nil
 }

@@ -221,10 +221,7 @@ func TestOnlineBuildsIndexAfterEpoch(t *testing.T) {
 	}
 	// After one epoch of scans on a big column the advisor must have built.
 	cs, _ := e.colState("R", "A")
-	cs.mu.Lock()
-	built := cs.sorted != nil
-	cs.mu.Unlock()
-	if !built {
+	if !cs.hasSorted() {
 		t.Fatal("online strategy never built the index")
 	}
 }

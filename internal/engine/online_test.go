@@ -55,10 +55,7 @@ func TestOnlineDropsUnusedIndex(t *testing.T) {
 		}
 	}
 	csCold, _ := e.colState("R", "cold")
-	csCold.mu.Lock()
-	built := csCold.sorted != nil
-	csCold.mu.Unlock()
-	if !built {
+	if !csCold.hasSorted() {
 		t.Fatal("cold column never indexed")
 	}
 	// Many epochs of "hot" queries only; cold's index must eventually drop
@@ -68,10 +65,7 @@ func TestOnlineDropsUnusedIndex(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	csCold.mu.Lock()
-	stillBuilt := csCold.sorted != nil
-	csCold.mu.Unlock()
-	if stillBuilt {
+	if csCold.hasSorted() {
 		t.Fatal("unused index never dropped")
 	}
 }
@@ -94,9 +88,7 @@ func TestOnlineIdleForceReview(t *testing.T) {
 		t.Fatalf("idle review built %d indexes, want 1", actions)
 	}
 	cs, _ := e.colState("R", "A")
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.sorted == nil {
+	if !cs.hasSorted() {
 		t.Fatal("forced review did not build")
 	}
 }

@@ -131,15 +131,10 @@ func TestParallelMixedWorkloadAllStrategies(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cs.mu.Lock()
-			if cs.crack != nil {
-				if err := cs.crack.Validate(); err != nil {
-					cs.mu.Unlock()
-					t.Fatal(err)
-				}
+			if err := cs.validate(); err != nil {
+				t.Fatal(err)
 			}
-			wantCount, wantSum := cs.scanShared(0, 2*domain)
-			cs.mu.Unlock()
+			wantCount, wantSum := cs.oracleScan(0, 2*domain)
 			r, err := e.Select("R", "A", 0, 2*domain)
 			if err != nil {
 				t.Fatal(err)
@@ -211,15 +206,13 @@ func TestParallelCrackingConvergence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.crack == nil {
+	if !cs.anyCracked() {
 		t.Fatal("cracked copy never materialised")
 	}
-	if err := cs.crack.Validate(); err != nil {
+	if err := cs.validate(); err != nil {
 		t.Fatal(err)
 	}
-	if p := cs.crack.Pieces(); p < 2 {
-		t.Fatalf("index never cracked: %d pieces", p)
+	if pieces, _ := cs.pieceStats(); pieces < 2 {
+		t.Fatalf("index never cracked: %d pieces", pieces)
 	}
 }

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"time"
+
+	"holistic/internal/shard"
 )
 
 // Select answers the paper's query template — SELECT col FROM table WHERE
@@ -11,15 +13,17 @@ import (
 // critical path is included in Elapsed; idle-time work is not (it runs in
 // IdleActions or the background worker pool).
 //
-// Concurrency: selects on the same column run in parallel wherever the
-// physical design allows it. Scan/offline/online selects are pure reads
-// under the column's shared latch (large uncracked scans additionally fan
-// out across cores, see scan.ParallelCountSum). Adaptive/holistic selects
-// take the shared latch too and rely on the cracker's piece-level latches,
-// so two queries cracking different pieces — or reading already-cracked
-// ranges — never wait on each other; only materialising the cracked copy,
-// merging pending updates and stochastic-variant selects fall back to the
-// exclusive latch.
+// Concurrency: every strategy fans the select out across the column's
+// shards — one goroutine per shard (shard.Column.FanOutCountSum) — and
+// merges the partial (count, sum), so a single large select executes on
+// multiple cores even with no other query in the system. Within each shard,
+// selects on the same part run in parallel wherever the physical design
+// allows it: scan/offline/online selects are pure reads under the part's
+// shared latch, and adaptive/holistic selects rely on the part's cracker
+// piece-level latches, so two queries cracking different pieces — or reading
+// already-cracked ranges — never wait on each other; only materialising the
+// cracked copy, merging pending updates and stochastic-variant selects fall
+// back to the part's exclusive latch.
 func (e *Engine) Select(table, col string, lo, hi int64) (Result, error) {
 	cs, err := e.colState(table, col)
 	if err != nil {
@@ -34,22 +38,21 @@ func (e *Engine) Select(table, col string, lo, hi int64) (Result, error) {
 	var sum int64
 	switch e.cfg.Strategy {
 	case StrategyScan:
-		cs.mu.RLock()
-		count, sum = cs.scanShared(lo, hi)
-		cs.mu.RUnlock()
+		count, sum = cs.sc.FanOutCountSum(func(p *shard.Part) (int, int64) {
+			return p.ScanCountSum(lo, hi)
+		})
 
 	case StrategyOffline:
-		cs.mu.RLock()
-		count, sum = cs.sortedOrScanShared(lo, hi)
-		cs.mu.RUnlock()
+		count, sum = cs.sc.FanOutCountSum(func(p *shard.Part) (int, int64) {
+			return p.SortedCountSum(lo, hi)
+		})
 
 	case StrategyOnline:
-		cs.mu.RLock()
-		count, sum = cs.sortedOrScanShared(lo, hi)
-		n := cs.col.Len() - cs.nDeleted
-		cs.mu.RUnlock()
+		count, sum = cs.sc.FanOutCountSum(func(p *shard.Part) (int, int64) {
+			return p.SortedCountSum(lo, hi)
+		})
 		sel := 0.0
-		if n > 0 {
+		if n := cs.sc.Live(); n > 0 {
 			sel = float64(count) / float64(n)
 		}
 		// Epoch-boundary reviews run here, and any advised build is
@@ -60,71 +63,27 @@ func (e *Engine) Select(table, col string, lo, hi int64) (Result, error) {
 		}
 
 	case StrategyAdaptive:
-		count, sum = cs.crackedSelect(lo, hi)
+		count, sum = cs.sc.FanOutCountSum(func(p *shard.Part) (int, int64) {
+			return p.CrackedSelect(lo, hi)
+		})
 
 	case StrategyHolistic:
-		count, sum = cs.crackedSelect(lo, hi)
-		// Continuous monitoring plus the "No Time" opportunity: a hot range
-		// earns a few extra cracks inside the query (cheap — hot pieces are
-		// already small). Boost cracks use the piece-latched path, so they
-		// only serialise against work on the pieces they split.
-		e.tuner.NoteQuery(cs.name, lo, hi)
-		cs.mu.RLock()
-		if ix := cs.crack; ix != nil {
-			e.tuner.MaybeBoost(ix, cs.name, lo, hi)
+		count, sum = cs.sc.FanOutCountSum(func(p *shard.Part) (int, int64) {
+			return p.CrackedSelect(lo, hi)
+		})
+		// Continuous monitoring plus the "No Time" opportunity, per shard: a
+		// hot range earns a few extra cracks inside the query (cheap — hot
+		// pieces are already small). Boost cracks use the piece-latched
+		// path, so they only serialise against work on the pieces they
+		// split.
+		for _, p := range cs.sc.Parts() {
+			e.tuner.NoteQuery(p.Name(), lo, hi)
+			p.RLock()
+			if ix := p.Cracked(); ix != nil {
+				e.tuner.MaybeBoost(ix, p.Name(), lo, hi)
+			}
+			p.RUnlock()
 		}
-		cs.mu.RUnlock()
 	}
 	return Result{Count: count, Sum: sum, Elapsed: time.Since(start)}, nil
-}
-
-// sortedOrScanShared uses the full index when present, else falls back to a
-// scan. Offline/online strategies serve selects through it; it only reads,
-// so the column's shared latch suffices.
-func (cs *colState) sortedOrScanShared(lo, hi int64) (int, int64) {
-	if cs.sorted != nil {
-		from, to := cs.sorted.Range(lo, hi)
-		return cs.sorted.CountSum(from, to)
-	}
-	return cs.scanShared(lo, hi)
-}
-
-// crackedSelect is the adaptive select operator. The common case — cracked
-// copy materialised, no pending updates, plain (non-stochastic) cracking —
-// runs under the shared column latch: CrackRangeConcurrent write-latches
-// only the piece(s) it splits and CountSumConcurrent read-latches pieces one
-// at a time, so concurrent selects proceed in parallel. Everything else
-// (first-touch materialisation, pending merges, stochastic variants) takes
-// the exclusive latch.
-func (cs *colState) crackedSelect(lo, hi int64) (int, int64) {
-	cs.mu.RLock()
-	if ix := cs.crack; ix != nil && cs.selector == nil && cs.pending.Empty() {
-		from, to := ix.CrackRangeConcurrent(lo, hi)
-		count, sum := ix.CountSumConcurrent(from, to)
-		cs.mu.RUnlock()
-		return count, sum
-	}
-	cs.mu.RUnlock()
-	// Structural work needed; state may have changed between the latches,
-	// so the exclusive path re-checks everything.
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return cs.crackedSelectLocked(lo, hi)
-}
-
-// crackedSelectLocked is the exclusive-mode adaptive select: materialise the
-// cracked copy on first use, merge pending updates overlapping the range,
-// crack (per the configured stochastic variant), aggregate.
-func (cs *colState) crackedSelectLocked(lo, hi int64) (int, int64) {
-	ix := cs.crackIndexLocked()
-	if !cs.pending.Empty() {
-		cs.pending.MergeRange(ix, lo, hi)
-	}
-	var from, to int
-	if cs.selector != nil {
-		from, to = cs.selector.Select(lo, hi)
-	} else {
-		from, to = ix.CrackRange(lo, hi)
-	}
-	return ix.CountSum(from, to)
 }

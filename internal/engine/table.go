@@ -2,15 +2,10 @@ package engine
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"sync"
 
-	"holistic/internal/column"
-	"holistic/internal/cracker"
 	"holistic/internal/scan"
-	"holistic/internal/sortindex"
-	"holistic/internal/stochastic"
-	"holistic/internal/updates"
+	"holistic/internal/shard"
 )
 
 // Table is a collection of equal-length integer columns.
@@ -42,128 +37,122 @@ func (t *Table) Rows() int {
 	return t.live
 }
 
-// colState is one column plus its physical design structures. It implements
-// core.Column so the holistic tuner can refine it directly.
-//
-// Latching: mu is the column's reader/writer latch. The write side guards
-// every structural change — materialising the cracked copy, merging pending
-// updates, (re)building the sorted index, tombstones. Under the read side,
-// any number of queries and idle workers may operate on the cracker index
-// concurrently through its piece-latched *Concurrent methods: only the
-// piece actually being split is exclusively held inside the cracker.
+// colState is one logical column: a thin handle over its sharded sub-engines
+// (shard.Column). All physical design — cracker indexes, sorted indexes,
+// pending updates, tombstones, latches — lives per shard in shard.Part; the
+// engine fans selects out across the parts and merges partial aggregates,
+// and each part registers with the holistic tuner as its own action-queue
+// shard (so the idle pool refines N shards of one column concurrently).
 type colState struct {
 	name string // qualified "table.column"
 	eng  *Engine
-
-	mu       sync.RWMutex
-	col      *column.Column
-	crack    *cracker.Index
-	selector *stochastic.Selector // non-nil iff crack != nil and variant != Plain
-	sorted   *sortindex.Index
-	pending  updates.Pending
-	deleted  []bool // tombstones, consulted by the scan path
-	nDeleted int
+	sc   *shard.Column
 }
 
-// Name implements core.Column.
-func (cs *colState) Name() string { return cs.name }
-
-// Lock implements core.Column.
-func (cs *colState) Lock() { cs.mu.Lock() }
-
-// Unlock implements core.Column.
-func (cs *colState) Unlock() { cs.mu.Unlock() }
-
-// RLock implements core.Column.
-func (cs *colState) RLock() { cs.mu.RLock() }
-
-// RUnlock implements core.Column.
-func (cs *colState) RUnlock() { cs.mu.RUnlock() }
-
-// CrackIndex implements core.Column: it returns the column's cracker index,
-// materialising the cracked copy on first use. Callers hold cs.mu.
-func (cs *colState) CrackIndex() *cracker.Index {
-	return cs.crackIndexLocked()
-}
-
-func (cs *colState) crackIndexLocked() *cracker.Index {
-	if cs.crack == nil {
-		vals, rows := cs.liveSnapshotLocked()
-		cs.crack = cracker.New(vals, rows)
-		if v := cs.eng.cfg.Stochastic; v != stochastic.Plain {
-			seed := cs.eng.cfg.Seed ^ hashName(cs.name)
-			rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
-			cs.selector = stochastic.NewSelector(cs.crack, v, cs.eng.cfg.StochasticThreshold, rng)
+// hasSorted reports whether every part carries a full sorted index (builds
+// are all-or-nothing per column).
+func (cs *colState) hasSorted() bool {
+	for _, p := range cs.sc.Parts() {
+		if !p.HasSorted() {
+			return false
 		}
 	}
-	return cs.crack
+	return true
 }
 
-// liveSnapshotLocked copies the live rows (skipping tombstones) with their
-// base row ids.
-func (cs *colState) liveSnapshotLocked() ([]int64, []uint32) {
-	if cs.nDeleted == 0 {
-		return cs.col.Snapshot()
-	}
-	n := cs.col.Len() - cs.nDeleted
-	vals := make([]int64, 0, n)
-	rows := make([]uint32, 0, n)
-	for i := 0; i < cs.col.Len(); i++ {
-		if !cs.deleted[i] {
-			vals = append(vals, cs.col.Get(i))
-			rows = append(rows, uint32(i))
+// anyCracked reports whether any part has materialised its cracked copy.
+func (cs *colState) anyCracked() bool {
+	for _, p := range cs.sc.Parts() {
+		p.RLock()
+		cracked := p.Cracked() != nil
+		p.RUnlock()
+		if cracked {
+			return true
 		}
 	}
-	return vals, rows
+	return false
 }
 
-// buildSortedLocked (re)builds the full sorted index from live rows. The
-// engine defaults to a comparison sort, the cost profile of the paper's
-// MonetDB build; Config.RadixBuild selects the faster radix sort instead.
-func (cs *colState) buildSortedLocked() {
-	vals, rows := cs.liveSnapshotLocked()
-	if cs.eng.cfg.RadixBuild {
-		cs.sorted = sortindex.Build(vals, rows)
-	} else {
-		cs.sorted = sortindex.BuildComparison(vals, rows)
+// buildSortedAll builds the full sorted index on every part, fanning the
+// per-part builds out across goroutines (each build holds only its own
+// part's latch).
+func (cs *colState) buildSortedAll() {
+	parts := cs.sc.Parts()
+	if len(parts) == 1 {
+		parts[0].BuildSorted()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p *shard.Part) {
+			defer wg.Done()
+			p.BuildSorted()
+		}(p)
+	}
+	wg.Wait()
+}
+
+// dropSortedAll removes every part's sorted index.
+func (cs *colState) dropSortedAll() {
+	for _, p := range cs.sc.Parts() {
+		p.DropSorted()
 	}
 }
 
-// scanShared answers [lo, hi) with a full scan, honouring tombstones. It
-// only reads, so it runs under either column latch mode; with
-// Config.ScanParallelism > 1 a large tombstone-free column is scanned
-// chunk-parallel across cores.
-func (cs *colState) scanShared(lo, hi int64) (int, int64) {
-	if cs.nDeleted == 0 {
-		if p := cs.eng.cfg.ScanParallelism; p > 1 {
-			return scan.ParallelCountSum(cs.col.Values(), lo, hi, p)
-		}
-		return scan.CountSum(cs.col.Values(), lo, hi)
-	}
+// oracleScan answers [lo, hi) with tombstone-aware full scans of every part,
+// serially — the reference path tests compare against at quiesced points.
+func (cs *colState) oracleScan(lo, hi int64) (int, int64) {
 	count, sum := 0, int64(0)
-	vals := cs.col.Values()
-	for i, v := range vals {
-		if !cs.deleted[i] && v >= lo && v < hi {
-			count++
-			sum += v
-		}
+	for _, p := range cs.sc.Parts() {
+		c, s := p.ScanCountSum(lo, hi)
+		count += c
+		sum += s
 	}
 	return count, sum
 }
 
-// hashName is FNV-1a over the column name, used to derive per-column seeds.
-func hashName(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
+// validate checks every part's cracker-index invariants (quiesced callers).
+func (cs *colState) validate() error {
+	for _, p := range cs.sc.Parts() {
+		if err := p.Validate(); err != nil {
+			return err
+		}
 	}
-	return h
+	return nil
+}
+
+// pieceStats aggregates cracker piece counts across parts: (pieces, avg
+// piece size). A part never cracked counts as one piece over its live rows,
+// so a fresh single-shard column reports (1, n) exactly as before sharding.
+func (cs *colState) pieceStats() (pieces int, avg float64) {
+	total := 0
+	for _, p := range cs.sc.Parts() {
+		pc, n := p.PieceStats()
+		pieces += pc
+		total += n
+	}
+	if pieces == 0 {
+		return 0, 0
+	}
+	return pieces, float64(total) / float64(pieces)
+}
+
+// pendingCounts aggregates buffered updates across parts.
+func (cs *colState) pendingCounts() (ins, del int) {
+	for _, p := range cs.sc.Parts() {
+		i, d := p.PendingCounts()
+		ins += i
+		del += d
+	}
+	return ins, del
 }
 
 // AddColumnFromSlice adds a column populated with vals (adopted, not
-// copied). The length must match the table's existing columns. The column
-// is registered with the strategy's monitoring machinery.
+// copied). The length must match the table's existing columns. The column is
+// split into Config.Shards striped parts and registered with the strategy's
+// monitoring machinery — per part for the holistic tuner, so every shard is
+// an independent refinement target.
 func (t *Table) AddColumnFromSlice(name string, vals []int64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -174,16 +163,16 @@ func (t *Table) AddColumnFromSlice(name string, vals []int64) error {
 		return fmt.Errorf("%w: %s.%s has %d values, table has %d rows",
 			ErrLengthMismatch, t.name, name, len(vals), t.rows)
 	}
-	col, err := column.FromSlice(name, vals)
+	// Domain bounds for histogram registration, before vals is adopted.
+	lo, hi, ok := scan.MinMax(vals)
+	if !ok {
+		lo, hi = 0, 1
+	}
+	sc, err := shard.NewColumn(t.name+"."+name, vals, t.eng.shardConfig())
 	if err != nil {
 		return err
 	}
-	cs := &colState{
-		name:    t.name + "." + name,
-		eng:     t.eng,
-		col:     col,
-		deleted: make([]bool, len(vals)),
-	}
+	cs := &colState{name: t.name + "." + name, eng: t.eng, sc: sc}
 	t.cols[name] = cs
 	t.order = append(t.order, name)
 	if len(t.order) == 1 {
@@ -195,11 +184,9 @@ func (t *Table) AddColumnFromSlice(name string, vals []int64) error {
 	case StrategyOnline:
 		t.eng.advisor.Register(cs.name, len(vals))
 	case StrategyHolistic:
-		lo, hi, ok := col.MinMax()
-		if !ok {
-			lo, hi = 0, 1
+		for _, p := range sc.Parts() {
+			t.eng.tuner.Register(p, lo, hi)
 		}
-		t.eng.tuner.Register(cs, lo, hi)
 	}
 	return nil
 }
@@ -216,9 +203,10 @@ func (t *Table) column(name string) (*colState, error) {
 }
 
 // InsertRow appends one row; vals must follow column creation order. It
-// returns the new row id. Index structures absorb the insert per their
-// nature: sorted indexes immediately (O(n) maintenance), cracker indexes
-// via the pending buffer (merged into queried ranges on demand).
+// returns the new row id. Each value is routed to its column's shard by the
+// striping rule; index structures absorb the insert per their nature: sorted
+// indexes immediately (O(n) maintenance), cracker indexes via the shard's
+// pending buffer (merged into queried ranges on demand).
 func (t *Table) InsertRow(vals ...int64) (uint32, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -228,20 +216,9 @@ func (t *Table) InsertRow(vals ...int64) (uint32, error) {
 	}
 	row := uint32(t.rows)
 	for i, name := range t.order {
-		cs := t.cols[name]
-		cs.mu.Lock()
-		if _, err := cs.col.Append(vals[i]); err != nil {
-			cs.mu.Unlock()
+		if _, err := t.cols[name].sc.Append(vals[i]); err != nil {
 			return 0, err
 		}
-		cs.deleted = append(cs.deleted, false)
-		if cs.sorted != nil {
-			cs.sorted.Insert(vals[i], row)
-		}
-		if cs.crack != nil {
-			cs.pending.Insert(vals[i], row)
-		}
-		cs.mu.Unlock()
 	}
 	t.rows++
 	t.live++
@@ -250,7 +227,8 @@ func (t *Table) InsertRow(vals ...int64) (uint32, error) {
 
 // DeleteWhere removes the first live row whose column `col` equals value.
 // It reports whether a row was deleted. All columns' index structures drop
-// the row: sorted indexes immediately, cracker indexes via pending deletes.
+// the row: sorted indexes immediately, cracker indexes via pending deletes
+// in the row's shard.
 func (t *Table) DeleteWhere(col string, value int64) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -258,33 +236,12 @@ func (t *Table) DeleteWhere(col string, value int64) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, col)
 	}
-	// Locate a live matching row.
-	cs.mu.Lock()
-	row := -1
-	vals := cs.col.Values()
-	for i, v := range vals {
-		if v == value && !cs.deleted[i] {
-			row = i
-			break
-		}
-	}
-	cs.mu.Unlock()
-	if row < 0 {
+	row, found := cs.sc.FirstLive(value)
+	if !found {
 		return false, nil
 	}
 	for _, name := range t.order {
-		c := t.cols[name]
-		c.mu.Lock()
-		v := c.col.Get(row)
-		c.deleted[row] = true
-		c.nDeleted++
-		if c.sorted != nil {
-			c.sorted.DeleteRow(v, uint32(row))
-		}
-		if c.crack != nil {
-			c.pending.Delete(v, uint32(row))
-		}
-		c.mu.Unlock()
+		t.cols[name].sc.DeleteRow(row)
 	}
 	t.live--
 	return true, nil

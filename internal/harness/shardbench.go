@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"holistic/internal/engine"
+	"holistic/internal/workload"
+)
+
+// ShardBenchConfig configures the shard sweep: every strategy runs the same
+// single-threaded closed-loop query stream at each shard count, so the only
+// variable is how much of each query's scan/crack work fans out across
+// shards — intra-query parallelism isolated from inter-query concurrency.
+type ShardBenchConfig struct {
+	// N is the number of uniform rows in the benchmark column.
+	N int
+	// Queries is how many queries each (strategy, shards) run issues.
+	Queries int
+	// ShardCounts is the sweep; empty selects {1, 2, 4, 8}.
+	ShardCounts []int
+	// Selectivity is the query selectivity (paper default 0.01).
+	Selectivity float64
+	// Seed makes data and queries reproducible.
+	Seed uint64
+	// TargetPieceSize: see engine.Config.
+	TargetPieceSize int
+	// IdleEvery injects a manual idle window every IdleEvery queries
+	// (holistic only); <= 0 disables. Manual windows keep the sweep
+	// deterministic — no background pool racing the measurement.
+	IdleEvery int
+	// IdleX is the refinement actions per idle window.
+	IdleX int
+}
+
+func (c *ShardBenchConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 1 << 20
+	}
+	if c.Queries <= 0 {
+		c.Queries = 1000
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4, 8}
+	}
+	if c.Selectivity <= 0 {
+		c.Selectivity = 0.01
+	}
+	if c.TargetPieceSize <= 0 {
+		c.TargetPieceSize = 1 << 12
+	}
+	if c.IdleEvery == 0 {
+		c.IdleEvery = 100
+	}
+	if c.IdleX <= 0 {
+		c.IdleX = 100
+	}
+}
+
+// ShardRun is one (strategy, shard count) cell of the sweep. The JSON field
+// names are the contract docs/bench_shard.schema.json validates.
+type ShardRun struct {
+	Strategy      string  `json:"strategy"`
+	Shards        int     `json:"shards"`
+	Queries       int     `json:"queries"`
+	P50US         int64   `json:"p50_us"`
+	P99US         int64   `json:"p99_us"`
+	TotalMS       float64 `json:"total_ms"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// IdleActions is the refinement actions harvested in manual idle
+	// windows (holistic; online counts forced-review builds; others 0).
+	IdleActions int `json:"idle_actions"`
+	// MaxFanOut is the column's high-water concurrent fan-out workers —
+	// >= 2 is direct evidence a single select ran on several shards.
+	MaxFanOut int `json:"max_fanout"`
+	// OracleOK records that every response matched the serial-scan oracle.
+	OracleOK bool `json:"oracle_ok"`
+}
+
+// ShardBenchResult is the machine-readable outcome of RunShardBench,
+// serialised to BENCH_shard.json.
+type ShardBenchResult struct {
+	Bench       string     `json:"bench"`
+	N           int        `json:"n"`
+	Queries     int        `json:"queries"`
+	Selectivity float64    `json:"selectivity"`
+	Seed        uint64     `json:"seed"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	Runs        []ShardRun `json:"runs"`
+}
+
+// RunShardBench sweeps shard counts across all five strategies, verifying
+// every response against the serial prefix-sum oracle, and returns the
+// machine-readable result.
+func RunShardBench(cfg ShardBenchConfig) (*ShardBenchResult, error) {
+	cfg.defaults()
+	vals := workload.UniformData(cfg.Seed^0x5157, cfg.N, 1, int64(cfg.N)+1)
+	orc := newPrefixOracle(vals)
+
+	res := &ShardBenchResult{
+		Bench:       "shard",
+		N:           cfg.N,
+		Queries:     cfg.Queries,
+		Selectivity: cfg.Selectivity,
+		Seed:        cfg.Seed,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, shards := range cfg.ShardCounts {
+		if shards < 1 {
+			return nil, fmt.Errorf("shardbench: invalid shard count %d", shards)
+		}
+		for _, s := range engine.Strategies() {
+			run, err := runShardCell(cfg, s, shards, vals, orc)
+			if err != nil {
+				return nil, err
+			}
+			res.Runs = append(res.Runs, *run)
+		}
+	}
+	return res, nil
+}
+
+func runShardCell(cfg ShardBenchConfig, s engine.Strategy, shards int, vals []int64, orc *prefixOracle) (*ShardRun, error) {
+	eng := engine.New(engine.Config{
+		Strategy:        s,
+		Seed:            cfg.Seed,
+		TargetPieceSize: cfg.TargetPieceSize,
+		Shards:          shards,
+	})
+	defer eng.Close()
+	tab, err := eng.CreateTable("r")
+	if err != nil {
+		return nil, err
+	}
+	if err := tab.AddColumnFromSlice("a", append([]int64(nil), vals...)); err != nil {
+		return nil, err
+	}
+	if s == engine.StrategyOffline {
+		// Offline pays its build a priori, outside the measured loop.
+		if _, err := eng.BuildFullIndex("r", "a"); err != nil {
+			return nil, err
+		}
+	}
+
+	gen := workload.NewUniform("r", "a", 1, int64(cfg.N)+1, cfg.Selectivity, cfg.Seed)
+	lats := make([]time.Duration, 0, cfg.Queries)
+	idleActions := 0
+	oracleOK := true
+	start := time.Now()
+	for i := 0; i < cfg.Queries; i++ {
+		q := gen.Next()
+		r, err := eng.Select("r", "a", q.Lo, q.Hi)
+		if err != nil {
+			return nil, err
+		}
+		wc, ws := orc.countSum(q.Lo, q.Hi)
+		if r.Count != wc || r.Sum != ws {
+			oracleOK = false
+		}
+		lats = append(lats, r.Elapsed)
+		if cfg.IdleEvery > 0 && (i+1)%cfg.IdleEvery == 0 {
+			a, _ := eng.IdleActions(cfg.IdleX)
+			idleActions += a
+		}
+	}
+	total := time.Since(start)
+	if !oracleOK {
+		return nil, fmt.Errorf("shardbench: %s at %d shards diverged from the serial-scan oracle", s, shards)
+	}
+	p50, _, p99, _ := LatencyProfile(lats)
+	_, fan, err := eng.ShardStats("r", "a")
+	if err != nil {
+		return nil, err
+	}
+	return &ShardRun{
+		Strategy:      s.String(),
+		Shards:        shards,
+		Queries:       cfg.Queries,
+		P50US:         p50.Microseconds(),
+		P99US:         p99.Microseconds(),
+		TotalMS:       float64(total.Microseconds()) / 1000,
+		QueriesPerSec: float64(cfg.Queries) / total.Seconds(),
+		IdleActions:   idleActions,
+		MaxFanOut:     fan,
+		OracleOK:      true,
+	}, nil
+}
+
+// WriteShardBenchJSON serialises the result as indented JSON — the
+// BENCH_shard.json format the CI schema check validates.
+func WriteShardBenchJSON(w io.Writer, res *ShardBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// FormatShardBench renders the sweep as a strategy x shards table.
+func FormatShardBench(res *ShardBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shard sweep: %d rows, %d queries/run, selectivity %.3f, GOMAXPROCS=%d\n",
+		res.N, res.Queries, res.Selectivity, res.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-9s %7s %10s %10s %10s %12s %8s %7s\n",
+		"strategy", "shards", "p50", "p99", "total", "throughput", "idle", "fanout")
+	for _, r := range res.Runs {
+		fmt.Fprintf(&b, "%-9s %7d %9dµs %9dµs %9.0fms %10.0f/s %8d %7d\n",
+			r.Strategy, r.Shards, r.P50US, r.P99US, r.TotalMS, r.QueriesPerSec,
+			r.IdleActions, r.MaxFanOut)
+	}
+	return b.String()
+}

@@ -69,6 +69,11 @@ type Gate struct {
 	rateMu   sync.Mutex
 	rate     float64 // requests per second, exponentially decayed
 	rateMark int64   // UnixNano of the last rate update
+
+	// testHookQuiet, when non-nil, runs inside QuietFor between the
+	// quietSince load and the state re-check. Tests use it to inject a
+	// racing Begin at the exact TOCTOU window.
+	testHookQuiet func()
 }
 
 // New returns a Gate that considers the current instant the start of its
@@ -92,11 +97,21 @@ func (g *Gate) Begin() {
 
 // End reports that a request finished (its response was written or its
 // connection died). If it was the last one in flight, a traffic gap begins.
+//
+// quietSince is (re)stamped BEFORE the in-flight decrement: between a
+// decrement-to-zero and a later store, a concurrent QuietFor would pair
+// state==0 with the PREVIOUS gap's start and report a huge stale gap. The
+// stamp is unconditional (a conditional "am I last?" load would leave two
+// racing Ends both seeing count 2 and neither stamping): while in-flight is
+// still nonzero every QuietFor returns 0 regardless of quietSince, racing
+// Ends only tighten the stamp toward now, and once the count reaches zero
+// no End can still be holding an unflushed stamp — each End's store is
+// ordered before its own decrement.
 func (g *Gate) End() {
 	g.completed.Add(1)
+	g.quietSince.Store(time.Now().UnixNano())
 	s := g.state.Add(-(1 << stepperBits))
 	if s>>stepperBits == 0 {
-		g.quietSince.Store(time.Now().UnixNano())
 		g.gaps.Add(1)
 	}
 }
@@ -111,12 +126,41 @@ func (g *Gate) Busy() bool { return g.InFlight() > 0 }
 // QuietFor returns how long the current traffic gap has lasted, or zero if
 // a request is in flight. The idle pool uses it both as a quiet-period
 // check and as the ramp signal for longer refinement bursts.
+//
+// The state and quietSince loads cannot be one atomic read, so both are
+// re-validated after the fact: if a request Begins between the two loads,
+// checking state only once would let a caller observe a positive gap while
+// traffic is already live — exactly the window that would grant an idle
+// burst against an in-flight request — and if a whole Begin/End cycle lands
+// between the loads, the state re-check alone would still pair a quiet
+// state with the PREVIOUS gap's stamp and report a gap spanning the busy
+// period. Seeing state==0 on both sides of an unchanged quietSince
+// guarantees the returned gap belongs to the gap that was current at the
+// read (End stamps quietSince before decrementing, so a quiet state never
+// pairs with an unflushed stamp). The retry only triggers when a complete
+// request cycle fits inside the few-instruction read window, so the loop
+// terminates immediately in practice.
 func (g *Gate) QuietFor() time.Duration {
-	s := g.state.Load()
-	if s>>stepperBits != 0 {
-		return 0
+	for {
+		if g.state.Load()>>stepperBits != 0 {
+			return 0
+		}
+		since := g.quietSince.Load()
+		if h := g.testHookQuiet; h != nil {
+			h()
+		}
+		d := time.Duration(time.Now().UnixNano() - since)
+		if g.state.Load()>>stepperBits != 0 {
+			return 0
+		}
+		if g.quietSince.Load() != since {
+			continue
+		}
+		if d < 0 {
+			d = 0
+		}
+		return d
 	}
-	return time.Duration(time.Now().UnixNano() - g.quietSince.Load())
 }
 
 // StepBegin asks for permission to run one idle refinement step. It grants

@@ -112,6 +112,110 @@ func TestNoGrantWitnessesTraffic(t *testing.T) {
 	}
 }
 
+// TestQuietForBeginRace pins the TOCTOU QuietFor used to have: a request
+// that Begins between the state check and the quietSince load must not let
+// the caller observe a positive gap while traffic is live. The test hook
+// injects the Begin into exactly that window; without the post-load state
+// re-check this fails deterministically.
+func TestQuietForBeginRace(t *testing.T) {
+	g := New()
+	time.Sleep(time.Millisecond) // make the would-be stale gap clearly positive
+	fired := false
+	g.testHookQuiet = func() {
+		if !fired {
+			fired = true
+			g.Begin()
+		}
+	}
+	if d := g.QuietFor(); d != 0 {
+		t.Fatalf("QuietFor = %v with a request in flight, want 0", d)
+	}
+	if !fired {
+		t.Fatal("test hook never ran")
+	}
+	g.testHookQuiet = nil
+	if g.QuietFor() != 0 {
+		t.Fatal("QuietFor must stay 0 while the request is in flight")
+	}
+	g.End()
+	if g.QuietFor() < 0 {
+		t.Fatal("negative gap after End")
+	}
+}
+
+// TestQuietForEndRace pins the companion ordering bug in End: if the last
+// End decremented in-flight to zero BEFORE storing the new quietSince, a
+// concurrent QuietFor could pair state==0 with the previous gap's stamp and
+// report a gap spanning the whole busy period. The hook lands a full
+// Begin+sleep+End cycle between QuietFor's loads; the returned gap must not
+// reach back before that cycle's End.
+func TestQuietForEndRace(t *testing.T) {
+	g := New()
+	const busy = 5 * time.Millisecond
+	fired := false
+	g.testHookQuiet = func() {
+		if !fired {
+			fired = true
+			g.Begin()
+			time.Sleep(busy)
+			g.End()
+		}
+	}
+	if d := g.QuietFor(); d >= busy {
+		t.Fatalf("QuietFor = %v, reaches back across a %v busy period", d, busy)
+	}
+}
+
+// TestQuietForHammer races Begin/End bursts against QuietFor pollers and
+// checks the invariant the idle ramp depends on: any positive gap observed
+// during the storm is small (a real inter-burst gap), never the
+// wall-clock-scale value a stale quietSince pairing would produce.
+func TestQuietForHammer(t *testing.T) {
+	g := New()
+	start := time.Now()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				g.Begin()
+				g.Begin()
+				g.End()
+				g.End()
+			}
+		}()
+	}
+	var worst atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				d := int64(g.QuietFor())
+				for {
+					w := worst.Load()
+					if d <= w || worst.CompareAndSwap(w, d) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	// The initial gap before the first Begin is a legitimate observation;
+	// anything beyond the storm's total runtime would mean a stale pairing.
+	if w := time.Duration(worst.Load()); w > time.Since(start) {
+		t.Fatalf("observed %v gap during a %v storm: stale quietSince pairing", w, time.Since(start))
+	}
+	if g.Snapshot().InFlight != 0 {
+		t.Fatal("unbalanced in-flight count after drain")
+	}
+}
+
 func TestArrivalRateDecays(t *testing.T) {
 	g := New()
 	for i := 0; i < 100; i++ {

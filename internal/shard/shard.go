@@ -1,0 +1,574 @@
+// Package shard partitions one logical column into N per-shard sub-engines
+// so that cracking, scans and idle refinement parallelise *within* a single
+// query instead of only across queries. This follows the partitioned
+// parallel-cracking design of "Main Memory Adaptive Indexing for Multi-core
+// Systems" (Alvarez et al., DaMoN 2014): instead of many cores contending on
+// one shared cracker index through ever finer latches, each shard owns a
+// private cracker index, crack tree, piece latches, sorted index and pending
+// update buffer, and a select fans out one goroutine per shard and merges the
+// partial aggregates.
+//
+// # Partitioning scheme
+//
+// Shards are chunk partitions in row space, striped round-robin: global row g
+// lives in part g % N at local position g / N. Striping was chosen over value
+// range partitioning deliberately:
+//
+//   - routing is O(1) arithmetic with no routing table to maintain — a row id
+//     maps to (part, local) and back without consulting any value bounds;
+//   - every part receives a statistically identical sample of the value
+//     domain, so per-part crack trees converge uniformly, fan-out work is
+//     balanced under any workload, and no rebalancing is ever needed under
+//     skewed inserts (range partitioning needs a-priori knowledge of the
+//     value distribution and splits when the distribution drifts);
+//   - every range select touches all parts, which is exactly what we want
+//     for intra-query parallelism: the fan-out is the parallelism.
+//
+// The cost is that selective point-ish queries cannot prune shards; range
+// pruning is a property of value partitioning and belongs to a later PR if a
+// workload demands it.
+//
+// # Interface discipline
+//
+// Part is deliberately narrow and value-oriented — every method takes and
+// returns plain values (ranges, counts, sums, row ids), never shared mutable
+// state — so a Part could later live behind internal/server's wire protocol
+// on another node: the fan-out/merge in Column is already the client side of
+// a scatter/gather, and nothing in the engine above this layer would change.
+//
+// # Latching
+//
+// Each Part carries its own reader/writer latch with exactly the semantics
+// the unsharded column had (see internal/engine): the write side is only for
+// structural changes (materialising the cracked copy, merging pending
+// updates, (re)building the sorted index, tombstoning), while the read side
+// admits any number of queries and idle workers, which coordinate through
+// the cracker index's piece-level latches. The idle pool's claim/re-check
+// protocol and the load gate's zero-in-flight CAS apply per part unchanged:
+// each Part registers with the holistic tuner as its own action-queue shard,
+// so during a traffic gap N parts drain refinement actions concurrently.
+package shard
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"holistic/internal/column"
+	"holistic/internal/cracker"
+	"holistic/internal/scan"
+	"holistic/internal/sortindex"
+	"holistic/internal/stochastic"
+	"holistic/internal/updates"
+)
+
+// Config fixes a sharded column's physical-design parameters at creation.
+type Config struct {
+	// Shards is the number of parts. <= 1 means a single part, which
+	// behaves exactly like the pre-sharding column (and names itself after
+	// the bare column, keeping stats and ranking output identical).
+	Shards int
+	// Stochastic / StochasticThreshold select the cracking variant used by
+	// adaptive selects (see package stochastic).
+	Stochastic          stochastic.Variant
+	StochasticThreshold int
+	// RadixBuild makes full sorted-index builds use the radix sort.
+	RadixBuild bool
+	// ScanParallelism caps goroutines per part for full scans of large
+	// uncracked parts. With several shards the fan-out itself is the
+	// parallelism, so this is usually 1.
+	ScanParallelism int
+	// Seed derives per-part RNG seeds for stochastic variants.
+	Seed uint64
+}
+
+func (c Config) shards() int {
+	if c.Shards <= 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+// Column is one logical column split into per-shard Parts, with fan-out and
+// merge of range aggregates. Reads fan out concurrently; appends and deletes
+// must be serialised by the caller (the engine's table lock does this), like
+// the row-wise operations they are part of.
+type Column struct {
+	name  string
+	cfg   Config
+	parts []*Part
+	rows  int // rows ever appended; guarded by the caller's append serialisation
+
+	// Fan-out instrumentation: how many per-part select workers are active
+	// right now and the high-water mark ever observed. The benchmark records
+	// the high-water mark as direct evidence of intra-query parallelism.
+	active    atomic.Int32
+	maxActive atomic.Int32
+
+	// selectHook, when set, is invoked with the part index as each fan-out
+	// worker starts (after registering in active). Tests install a
+	// rendezvous here to prove that two parts of one select really execute
+	// concurrently.
+	selectHook atomic.Pointer[func(part int)]
+}
+
+// NewColumn splits vals into cfg.Shards striped parts. vals is adopted: the
+// caller must not reuse it.
+func NewColumn(name string, vals []int64, cfg Config) (*Column, error) {
+	if len(vals) > column.MaxRows {
+		return nil, column.ErrTooLarge
+	}
+	n := cfg.shards()
+	c := &Column{name: name, cfg: cfg, rows: len(vals)}
+	per := (len(vals) + n - 1) / n
+	split := make([][]int64, n)
+	for i := range split {
+		split[i] = make([]int64, 0, per)
+	}
+	for g, v := range vals {
+		split[g%n] = append(split[g%n], v)
+	}
+	for i := 0; i < n; i++ {
+		pname := name
+		if n > 1 {
+			pname = fmt.Sprintf("%s#%d", name, i)
+		}
+		col, err := column.FromSlice(pname, split[i])
+		if err != nil {
+			return nil, err
+		}
+		c.parts = append(c.parts, &Part{
+			name:    pname,
+			id:      i,
+			stride:  n,
+			cfg:     &c.cfg,
+			col:     col,
+			deleted: make([]bool, len(split[i])),
+		})
+	}
+	return c, nil
+}
+
+// Name returns the logical column name.
+func (c *Column) Name() string { return c.name }
+
+// Shards returns the number of parts.
+func (c *Column) Shards() int { return len(c.parts) }
+
+// Parts returns the per-shard sub-engines, in shard order.
+func (c *Column) Parts() []*Part { return c.parts }
+
+// Rows returns the number of rows ever appended (including deleted ones).
+func (c *Column) Rows() int { return c.rows }
+
+// MaxFanOut returns the highest number of per-part select workers ever
+// observed running concurrently on this column — at least 1 once any select
+// has run, and >= 2 proves intra-query parallelism actually happened.
+func (c *Column) MaxFanOut() int { return int(c.maxActive.Load()) }
+
+// SetSelectHook installs (or clears, with nil) the fan-out test hook. Safe
+// to call while selects run.
+func (c *Column) SetSelectHook(h func(part int)) {
+	if h == nil {
+		c.selectHook.Store(nil)
+		return
+	}
+	c.selectHook.Store(&h)
+}
+
+// enter registers one fan-out worker on part i, maintaining the concurrency
+// high-water mark, and fires the test hook.
+func (c *Column) enter(i int) {
+	a := c.active.Add(1)
+	for {
+		m := c.maxActive.Load()
+		if a <= m || c.maxActive.CompareAndSwap(m, a) {
+			break
+		}
+	}
+	if h := c.selectHook.Load(); h != nil {
+		(*h)(i)
+	}
+}
+
+func (c *Column) exit() { c.active.Add(-1) }
+
+// FanOutCountSum runs f on every part — one goroutine per part beyond the
+// first, which runs on the caller's goroutine — and returns the merged
+// (count, sum). With one part it degrades to a plain call.
+func (c *Column) FanOutCountSum(f func(p *Part) (int, int64)) (int, int64) {
+	if len(c.parts) == 1 {
+		c.enter(0)
+		defer c.exit()
+		return f(c.parts[0])
+	}
+	counts := make([]int, len(c.parts))
+	sums := make([]int64, len(c.parts))
+	var wg sync.WaitGroup
+	for i := 1; i < len(c.parts); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.enter(i)
+			defer c.exit()
+			counts[i], sums[i] = f(c.parts[i])
+		}(i)
+	}
+	c.enter(0)
+	counts[0], sums[0] = f(c.parts[0])
+	c.exit()
+	wg.Wait()
+	count, sum := 0, int64(0)
+	for i := range counts {
+		count += counts[i]
+		sum += sums[i]
+	}
+	return count, sum
+}
+
+// Append routes one value to its part by the striping rule and returns the
+// new global row id. Callers serialise appends (the engine's table lock).
+func (c *Column) Append(v int64) (uint32, error) {
+	if c.rows >= column.MaxRows {
+		return 0, column.ErrTooLarge
+	}
+	g := uint32(c.rows)
+	if err := c.parts[c.rows%len(c.parts)].appendValue(v); err != nil {
+		return 0, err
+	}
+	c.rows++
+	return g, nil
+}
+
+// FirstLive returns the lowest global row id holding value v live, scanning
+// parts and picking the global minimum — the same "first live row" contract
+// the unsharded column had.
+func (c *Column) FirstLive(v int64) (row uint32, ok bool) {
+	best := uint32(0)
+	for _, p := range c.parts {
+		if g, found := p.firstLive(v); found && (!ok || g < best) {
+			best, ok = g, true
+		}
+	}
+	return best, ok
+}
+
+// DeleteRow tombstones global row g in its part, feeding the part's sorted
+// index and pending-delete buffer. It returns the deleted value.
+func (c *Column) DeleteRow(g uint32) int64 {
+	n := len(c.parts)
+	return c.parts[int(g)%n].deleteLocal(int(g) / n)
+}
+
+// Live returns the number of live (non-deleted) rows.
+func (c *Column) Live() int {
+	live := 0
+	for _, p := range c.parts {
+		live += p.Live()
+	}
+	return live
+}
+
+// Part is one shard of a column: a contiguous stripe of rows with its own
+// storage, cracker index, sorted index, pending updates and latch. It
+// implements the holistic tuner's Column interface (internal/core), so each
+// part is an independent action-queue shard for the idle pool.
+type Part struct {
+	name   string
+	id     int
+	stride int
+	cfg    *Config
+
+	mu       sync.RWMutex
+	col      *column.Column
+	crack    *cracker.Index
+	selector *stochastic.Selector // non-nil iff crack != nil and variant != Plain
+	sorted   *sortindex.Index
+	pending  updates.Pending
+	deleted  []bool // tombstones by local position
+	nDeleted int
+}
+
+// Name implements the tuner's Column interface; part names are
+// "table.column#i" (bare "table.column" for a single-shard column).
+func (p *Part) Name() string { return p.name }
+
+// Lock takes the part's exclusive latch (structural changes only).
+func (p *Part) Lock() { p.mu.Lock() }
+
+// Unlock releases the exclusive latch.
+func (p *Part) Unlock() { p.mu.Unlock() }
+
+// RLock takes the part's shared latch.
+func (p *Part) RLock() { p.mu.RLock() }
+
+// RUnlock releases the shared latch.
+func (p *Part) RUnlock() { p.mu.RUnlock() }
+
+// globalRow maps a local position to the global row id.
+func (p *Part) globalRow(local int) uint32 {
+	return uint32(local*p.stride + p.id)
+}
+
+// Len returns the part's total local rows (including tombstoned).
+func (p *Part) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.col.Len()
+}
+
+// Live returns the part's live rows.
+func (p *Part) Live() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.col.Len() - p.nDeleted
+}
+
+// MinMax returns the part's value bounds (ok=false when empty).
+func (p *Part) MinMax() (lo, hi int64, ok bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.col.MinMax()
+}
+
+// CrackIndex implements the tuner's Column interface: it returns the part's
+// cracker index, materialising the cracked copy on first use. Callers hold
+// the exclusive latch.
+func (p *Part) CrackIndex() *cracker.Index { return p.crackIndexLocked() }
+
+// Cracked returns the cracker index if materialised, else nil. Callers hold
+// either latch mode.
+func (p *Part) Cracked() *cracker.Index { return p.crack }
+
+func (p *Part) crackIndexLocked() *cracker.Index {
+	if p.crack == nil {
+		vals, rows := p.liveSnapshotLocked()
+		p.crack = cracker.New(vals, rows)
+		if v := p.cfg.Stochastic; v != stochastic.Plain {
+			seed := p.cfg.Seed ^ hashName(p.name)
+			rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+			p.selector = stochastic.NewSelector(p.crack, v, p.cfg.StochasticThreshold, rng)
+		}
+	}
+	return p.crack
+}
+
+// liveSnapshotLocked copies the live rows (skipping tombstones) paired with
+// their global row ids.
+func (p *Part) liveSnapshotLocked() ([]int64, []uint32) {
+	n := p.col.Len() - p.nDeleted
+	vals := make([]int64, 0, n)
+	rows := make([]uint32, 0, n)
+	for i := 0; i < p.col.Len(); i++ {
+		if !p.deleted[i] {
+			vals = append(vals, p.col.Get(i))
+			rows = append(rows, p.globalRow(i))
+		}
+	}
+	return vals, rows
+}
+
+// BuildSorted (re)builds the part's full sorted index from live rows.
+func (p *Part) BuildSorted() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buildSortedLocked()
+}
+
+func (p *Part) buildSortedLocked() {
+	vals, rows := p.liveSnapshotLocked()
+	if p.cfg.RadixBuild {
+		p.sorted = sortindex.Build(vals, rows)
+	} else {
+		p.sorted = sortindex.BuildComparison(vals, rows)
+	}
+}
+
+// DropSorted removes the part's sorted index, if any.
+func (p *Part) DropSorted() {
+	p.mu.Lock()
+	p.sorted = nil
+	p.mu.Unlock()
+}
+
+// HasSorted reports whether a full sorted index exists.
+func (p *Part) HasSorted() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.sorted != nil
+}
+
+// ScanCountSum answers [lo, hi) with a full scan of the part under the
+// shared latch, honouring tombstones.
+func (p *Part) ScanCountSum(lo, hi int64) (int, int64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.scanLocked(lo, hi)
+}
+
+func (p *Part) scanLocked(lo, hi int64) (int, int64) {
+	if p.nDeleted == 0 {
+		if par := p.cfg.ScanParallelism; par > 1 {
+			return scan.ParallelCountSum(p.col.Values(), lo, hi, par)
+		}
+		return scan.CountSum(p.col.Values(), lo, hi)
+	}
+	count, sum := 0, int64(0)
+	for i, v := range p.col.Values() {
+		if !p.deleted[i] && v >= lo && v < hi {
+			count++
+			sum += v
+		}
+	}
+	return count, sum
+}
+
+// SortedCountSum answers [lo, hi) from the part's sorted index, falling back
+// to a scan when no index exists. Shared latch; pure read.
+func (p *Part) SortedCountSum(lo, hi int64) (int, int64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.sorted != nil {
+		from, to := p.sorted.Range(lo, hi)
+		return p.sorted.CountSum(from, to)
+	}
+	return p.scanLocked(lo, hi)
+}
+
+// CrackedSelect is the adaptive select operator on one part. The common case
+// — cracked copy materialised, no pending updates, plain cracking — runs
+// under the shared latch with piece-level latching inside the cracker, so
+// concurrent selects (and fan-out siblings on other parts) proceed in
+// parallel. Structural work falls back to the exclusive latch.
+func (p *Part) CrackedSelect(lo, hi int64) (int, int64) {
+	p.mu.RLock()
+	if ix := p.crack; ix != nil && p.selector == nil && p.pending.Empty() {
+		from, to := ix.CrackRangeConcurrent(lo, hi)
+		count, sum := ix.CountSumConcurrent(from, to)
+		p.mu.RUnlock()
+		return count, sum
+	}
+	p.mu.RUnlock()
+	// State may have changed between the latches; the exclusive path
+	// re-checks everything.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ix := p.crackIndexLocked()
+	if !p.pending.Empty() {
+		p.pending.MergeRange(ix, lo, hi)
+	}
+	var from, to int
+	if p.selector != nil {
+		from, to = p.selector.Select(lo, hi)
+	} else {
+		from, to = ix.CrackRange(lo, hi)
+	}
+	return ix.CountSum(from, to)
+}
+
+// appendValue adds one value at the next local position, maintaining
+// whatever index structures exist. The caller serialises appends column-wide.
+func (p *Part) appendValue(v int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	local, err := p.col.Append(v)
+	if err != nil {
+		return err
+	}
+	g := p.globalRow(int(local))
+	p.deleted = append(p.deleted, false)
+	if p.sorted != nil {
+		p.sorted.Insert(v, g)
+	}
+	if p.crack != nil {
+		p.pending.Insert(v, g)
+	}
+	return nil
+}
+
+// firstLive returns the lowest global row id in this part holding value v
+// live.
+func (p *Part) firstLive(v int64) (uint32, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for i, val := range p.col.Values() {
+		if val == v && !p.deleted[i] {
+			return p.globalRow(i), true
+		}
+	}
+	return 0, false
+}
+
+// deleteLocal tombstones the row at local position, feeding index
+// structures, and returns its value.
+func (p *Part) deleteLocal(local int) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v := p.col.Get(local)
+	if p.deleted[local] {
+		return v
+	}
+	p.deleted[local] = true
+	p.nDeleted++
+	g := p.globalRow(local)
+	if p.sorted != nil {
+		p.sorted.DeleteRow(v, g)
+	}
+	if p.crack != nil {
+		p.pending.Delete(v, g)
+	}
+	return v
+}
+
+// PieceStats returns the part's cracker piece count and total indexed
+// values; a part never cracked counts as one piece over its live rows.
+func (p *Part) PieceStats() (pieces, n int) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.crack == nil {
+		live := p.col.Len() - p.nDeleted
+		if live == 0 {
+			return 0, 0
+		}
+		return 1, live
+	}
+	return p.crack.Pieces(), p.crack.Len()
+}
+
+// PendingCounts returns the part's buffered (inserts, deletes).
+func (p *Part) PendingCounts() (ins, del int) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.pending.Counts()
+}
+
+// Consolidate prunes redundant crack boundaries (see cracker.Consolidate).
+func (p *Part) Consolidate(minPiece int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crack == nil {
+		return 0
+	}
+	return p.crack.Consolidate(minPiece)
+}
+
+// Validate checks the part's cracker-index invariants (quiesced callers).
+func (p *Part) Validate() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crack == nil {
+		return nil
+	}
+	return p.crack.Validate()
+}
+
+// hashName is FNV-1a over the part name, used to derive per-part seeds.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,264 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func naiveRange(vals []int64, lo, hi int64) (int, int64) {
+	n, s := 0, int64(0)
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			n++
+			s += v
+		}
+	}
+	return n, s
+}
+
+func randomVals(rng *rand.Rand, n int, domain int64) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int64N(domain)
+	}
+	return vals
+}
+
+func TestStripingRoutesRows(t *testing.T) {
+	vals := []int64{10, 11, 12, 13, 14, 15, 16}
+	c, err := NewColumn("R.A", append([]int64{}, vals...), Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 3 {
+		t.Fatalf("Shards() = %d", c.Shards())
+	}
+	// Global row g lives in part g%3 at local g/3.
+	for g, v := range vals {
+		p := c.Parts()[g%3]
+		local := g / 3
+		p.RLock()
+		got := p.col.Get(local)
+		p.RUnlock()
+		if got != v {
+			t.Fatalf("row %d: part %d local %d holds %d, want %d", g, g%3, local, got, v)
+		}
+		if gr := p.globalRow(local); gr != uint32(g) {
+			t.Fatalf("globalRow round trip: %d -> %d", g, gr)
+		}
+	}
+	// Appends continue the stripe.
+	g, err := c.Append(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 7 {
+		t.Fatalf("appended row id %d, want 7", g)
+	}
+	if c.Parts()[7%3].Len() != 3 {
+		t.Fatal("append routed to the wrong part")
+	}
+}
+
+func TestPartNaming(t *testing.T) {
+	one, _ := NewColumn("R.A", []int64{1}, Config{Shards: 1})
+	if got := one.Parts()[0].Name(); got != "R.A" {
+		t.Fatalf("single-shard part name %q, want bare column name", got)
+	}
+	many, _ := NewColumn("R.A", []int64{1, 2}, Config{Shards: 2})
+	for i, p := range many.Parts() {
+		if want := fmt.Sprintf("R.A#%d", i); p.Name() != want {
+			t.Fatalf("part %d name %q, want %q", i, p.Name(), want)
+		}
+	}
+}
+
+func TestFanOutMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	vals := randomVals(rng, 5000, 10000)
+	for _, s := range []int{1, 2, 3, 8} {
+		c, err := NewColumn("R.A", append([]int64{}, vals...), Config{Shards: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			lo := rng.Int64N(10000)
+			hi := lo + rng.Int64N(2000)
+			count, sum := c.FanOutCountSum(func(p *Part) (int, int64) {
+				return p.ScanCountSum(lo, hi)
+			})
+			wc, ws := naiveRange(vals, lo, hi)
+			if count != wc || sum != ws {
+				t.Fatalf("shards=%d [%d,%d): got %d/%d want %d/%d", s, lo, hi, count, sum, wc, ws)
+			}
+		}
+	}
+}
+
+func TestCrackedSelectMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	vals := randomVals(rng, 8000, 1<<16)
+	c, err := NewColumn("R.A", append([]int64{}, vals...), Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		lo := rng.Int64N(1 << 16)
+		hi := lo + rng.Int64N(1<<12) + 1
+		count, sum := c.FanOutCountSum(func(p *Part) (int, int64) {
+			return p.CrackedSelect(lo, hi)
+		})
+		wc, ws := naiveRange(vals, lo, hi)
+		if count != wc || sum != ws {
+			t.Fatalf("[%d,%d): got %d/%d want %d/%d", lo, hi, count, sum, wc, ws)
+		}
+	}
+	for _, p := range c.Parts() {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		p.RLock()
+		cracked := p.Cracked() != nil
+		p.RUnlock()
+		if !cracked {
+			t.Fatalf("part %s never cracked", p.Name())
+		}
+	}
+}
+
+func TestDeleteAndFirstLive(t *testing.T) {
+	vals := []int64{5, 7, 5, 9, 5}
+	c, err := NewColumn("R.A", append([]int64{}, vals...), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := c.FirstLive(5)
+	if !ok || row != 0 {
+		t.Fatalf("FirstLive(5) = %d,%v want 0,true", row, ok)
+	}
+	if v := c.DeleteRow(row); v != 5 {
+		t.Fatalf("DeleteRow returned %d", v)
+	}
+	// The next live 5 in global row order is row 2, even though rows 0 and 2
+	// sit in the same part while 4 is in the other.
+	row, ok = c.FirstLive(5)
+	if !ok || row != 2 {
+		t.Fatalf("FirstLive(5) after delete = %d,%v want 2,true", row, ok)
+	}
+	c.DeleteRow(2)
+	c.DeleteRow(4)
+	if _, ok := c.FirstLive(5); ok {
+		t.Fatal("FirstLive found a deleted value")
+	}
+	if c.Live() != 2 {
+		t.Fatalf("Live() = %d, want 2", c.Live())
+	}
+	count, sum := c.FanOutCountSum(func(p *Part) (int, int64) { return p.ScanCountSum(0, 100) })
+	if count != 2 || sum != 16 {
+		t.Fatalf("post-delete scan %d/%d, want 2/16", count, sum)
+	}
+}
+
+func TestSortedIndexPerPart(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	vals := randomVals(rng, 3000, 5000)
+	c, err := NewColumn("R.A", append([]int64{}, vals...), Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Parts() {
+		p.BuildSorted()
+		if !p.HasSorted() {
+			t.Fatal("BuildSorted did not build")
+		}
+	}
+	lo, hi := int64(1000), int64(2500)
+	count, sum := c.FanOutCountSum(func(p *Part) (int, int64) { return p.SortedCountSum(lo, hi) })
+	wc, ws := naiveRange(vals, lo, hi)
+	if count != wc || sum != ws {
+		t.Fatalf("sorted select %d/%d, want %d/%d", count, sum, wc, ws)
+	}
+}
+
+func TestPieceStatsUncracked(t *testing.T) {
+	c, _ := NewColumn("R.A", []int64{1, 2, 3, 4, 5}, Config{Shards: 2})
+	for _, p := range c.Parts() {
+		pieces, n := p.PieceStats()
+		if pieces != 1 || n != p.Live() {
+			t.Fatalf("uncracked part: pieces=%d n=%d live=%d", pieces, n, p.Live())
+		}
+	}
+	empty, _ := NewColumn("R.B", nil, Config{Shards: 1})
+	if pieces, n := empty.Parts()[0].PieceStats(); pieces != 0 || n != 0 {
+		t.Fatalf("empty part: pieces=%d n=%d", pieces, n)
+	}
+}
+
+// TestFanOutRunsPartsConcurrently proves the fan-out is real parallelism: a
+// rendezvous hook makes every worker wait until at least two distinct parts
+// have entered their select simultaneously. A serial implementation would
+// deadlock here and trip the timeout.
+func TestFanOutRunsPartsConcurrently(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	vals := randomVals(rng, 10000, 1<<16)
+	c, err := NewColumn("R.A", vals, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	inside := map[int]bool{}
+	release := make(chan struct{})
+	timeout := time.After(10 * time.Second)
+	c.SetSelectHook(func(part int) {
+		mu.Lock()
+		inside[part] = true
+		n := len(inside)
+		mu.Unlock()
+		if n >= 2 {
+			select {
+			case <-release:
+			default:
+				close(release)
+			}
+		}
+		select {
+		case <-release:
+		case <-timeout:
+			t.Error("fan-out never had 2 parts in flight: selects are serial")
+		}
+	})
+	count, sum := c.FanOutCountSum(func(p *Part) (int, int64) { return p.ScanCountSum(0, 1<<16) })
+	c.SetSelectHook(nil)
+	wc, ws := naiveRange(vals, 0, 1<<16)
+	if count != wc || sum != ws {
+		t.Fatalf("got %d/%d want %d/%d", count, sum, wc, ws)
+	}
+	if c.MaxFanOut() < 2 {
+		t.Fatalf("MaxFanOut = %d, want >= 2", c.MaxFanOut())
+	}
+}
+
+func TestAppendFeedsIndexes(t *testing.T) {
+	c, _ := NewColumn("R.A", []int64{10, 20, 30, 40}, Config{Shards: 2})
+	// Crack both parts first so appends go through pending buffers.
+	for _, p := range c.Parts() {
+		p.CrackedSelect(0, 100)
+	}
+	g, err := c.Append(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 4 {
+		t.Fatalf("row id %d, want 4", g)
+	}
+	count, sum := c.FanOutCountSum(func(p *Part) (int, int64) { return p.CrackedSelect(0, 100) })
+	if count != 5 || sum != 125 {
+		t.Fatalf("after append: %d/%d, want 5/125", count, sum)
+	}
+	if c.Rows() != 5 || c.Live() != 5 {
+		t.Fatalf("Rows=%d Live=%d", c.Rows(), c.Live())
+	}
+}

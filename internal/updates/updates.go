@@ -21,25 +21,40 @@ type entry struct {
 type Pending struct {
 	ins []entry
 	del []entry
+	// insAt indexes the insert buffer by (val, row) so Delete annihilates in
+	// O(1) instead of scanning — a burst of K inserts + K deletes used to be
+	// O(K²). Allocated lazily on first insert; rebuilt after merge compacts
+	// the buffer.
+	insAt map[entry]int
 }
 
 // Insert buffers an insert of value v for base row `row`.
 func (p *Pending) Insert(v int64, row uint32) {
-	p.ins = append(p.ins, entry{v, row})
+	e := entry{v, row}
+	if p.insAt == nil {
+		p.insAt = make(map[entry]int)
+	}
+	p.ins = append(p.ins, e)
+	p.insAt[e] = len(p.ins) - 1
 }
 
 // Delete buffers a delete of (v, row). If the same (value, row) pair is
 // still sitting in the insert buffer the two annihilate immediately and
 // nothing is buffered.
 func (p *Pending) Delete(v int64, row uint32) {
-	for i, e := range p.ins {
-		if e.val == v && e.row == row {
-			p.ins[i] = p.ins[len(p.ins)-1]
-			p.ins = p.ins[:len(p.ins)-1]
-			return
+	e := entry{v, row}
+	if i, ok := p.insAt[e]; ok {
+		last := len(p.ins) - 1
+		moved := p.ins[last]
+		p.ins[i] = moved
+		p.ins = p.ins[:last]
+		delete(p.insAt, e)
+		if i != last {
+			p.insAt[moved] = i
 		}
+		return
 	}
-	p.del = append(p.del, entry{v, row})
+	p.del = append(p.del, e)
 }
 
 // Counts returns the number of buffered inserts and deletes.
@@ -79,6 +94,13 @@ func (p *Pending) merge(ix *cracker.Index, in func(int64) bool) int {
 		}
 	}
 	p.ins = keep
+	// Compaction moved survivors; reindex them for O(1) annihilation.
+	if len(p.insAt) > 0 {
+		clear(p.insAt)
+	}
+	for i, e := range p.ins {
+		p.insAt[e] = i
+	}
 	keepD := p.del[:0]
 	for _, e := range p.del {
 		if in(e.val) {

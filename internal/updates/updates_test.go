@@ -1,6 +1,7 @@
 package updates
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"sort"
 	"testing"
@@ -54,6 +55,42 @@ func TestDeleteAnnihilatesPendingInsert(t *testing.T) {
 	ins, del := p.Counts()
 	if ins != 1 || del != 1 {
 		t.Fatalf("buffer state %d/%d", ins, del)
+	}
+}
+
+// TestDeleteAnnihilationSwapRemove pins the position-index bookkeeping: when
+// an annihilation swap-removes from the middle of the insert buffer, the
+// entry moved into the vacated slot must still be findable (stale indexes
+// would make later annihilations miss and leak delete entries).
+func TestDeleteAnnihilationSwapRemove(t *testing.T) {
+	var p Pending
+	p.Insert(1, 10)
+	p.Insert(2, 11)
+	p.Insert(3, 12)
+	p.Delete(1, 10) // swap-removes front; (3,12) moves to slot 0
+	p.Delete(3, 12) // must still annihilate via the fixed-up index
+	p.Delete(2, 11)
+	if !p.Empty() {
+		ins, del := p.Counts()
+		t.Fatalf("buffer state %d/%d after full annihilation, want 0/0", ins, del)
+	}
+}
+
+// TestDeleteAnnihilationAfterMerge pins the reindex after merge compaction:
+// a partial MergeRange compacts survivors to new positions, and a later
+// delete of a survivor must still annihilate it.
+func TestDeleteAnnihilationAfterMerge(t *testing.T) {
+	ix := newIndex([]int64{10, 20, 30})
+	var p Pending
+	p.Insert(5, 10)
+	p.Insert(25, 11)
+	p.Insert(95, 12)
+	p.MergeRange(ix, 20, 30) // merges (25,11); survivors compact
+	p.Delete(95, 12)
+	p.Delete(5, 10)
+	ins, del := p.Counts()
+	if ins != 0 || del != 0 {
+		t.Fatalf("buffer state %d/%d, want 0/0 (stale index after merge?)", ins, del)
 	}
 }
 
@@ -187,6 +224,37 @@ func TestPropertyPendingMatchesReference(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkDeleteAnnihilation buffers K inserts then deletes all K in
+// reverse order — the old linear-scan worst case, where every delete walked
+// the whole remaining buffer (O(K²) total). With the (val, row) position
+// index the sweep is O(K): ns/op should stay flat as K grows 10×.
+func BenchmarkDeleteAnnihilation(b *testing.B) {
+	for _, k := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			vals := make([]int64, k)
+			rng := rand.New(rand.NewPCG(7, uint64(k)))
+			for i := range vals {
+				vals[i] = rng.Int64N(1 << 30)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var p Pending
+				for j := 0; j < k; j++ {
+					p.Insert(vals[j], uint32(j))
+				}
+				for j := k - 1; j >= 0; j-- {
+					p.Delete(vals[j], uint32(j))
+				}
+				if !p.Empty() {
+					b.Fatal("burst did not fully annihilate")
+				}
+			}
+			// Per-operation cost across the 2K updates: flat when linear.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(2*k), "ns/update")
+		})
 	}
 }
 
