@@ -12,6 +12,8 @@
 //	holisticbench -exp net -clients 8 -bursts 4    # closed-loop network bench
 //	holisticbench -exp shard                       # shard sweep -> BENCH_shard.json
 //	holisticbench -exp shard -smoke                # tiny CI-sized shard sweep
+//	holisticbench -exp writes                      # write-path bench -> BENCH_writes.json
+//	holisticbench -exp writes -smoke               # tiny CI-sized write-path bench
 //
 // The paper's scale is -n 100000000 -queries 10000 (needs ~6 GB and
 // patience); defaults are laptop-sized and preserve the curves' shape.
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|table1|table2|net|shard|all")
+		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|table1|table2|net|shard|writes|all")
 		n       = flag.Int("n", 1<<20, "rows per column")
 		queries = flag.Int("queries", 2000, "queries per run")
 		x       = flag.Int("x", 100, "refinement actions per idle window (fig3)")
@@ -48,8 +50,10 @@ func main() {
 		burstQ  = flag.Int("burst-q", 50, "queries per client per burst (net)")
 		gap     = flag.Duration("gap", 200*time.Millisecond, "traffic gap between bursts (net)")
 		shards  = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep (shard)")
-		out     = flag.String("out", "BENCH_shard.json", "output path for the shard sweep JSON (shard)")
-		smoke   = flag.Bool("smoke", false, "CI smoke mode: shrink the shard sweep to seconds (shard)")
+		batches = flag.Int("batches", 40, "insert batches per client per burst (writes)")
+		batch   = flag.Int("batch", 8, "rows per insert statement (writes)")
+		out     = flag.String("out", "", "output JSON path (shard: BENCH_shard.json, writes: BENCH_writes.json)")
+		smoke   = flag.Bool("smoke", false, "CI smoke mode: shrink the shard/writes sweep to seconds")
 		csvPath = flag.String("csv", "", "write cumulative series CSV to this file")
 		width   = flag.Int("plot-width", 72, "ASCII plot width")
 		height  = flag.Int("plot-height", 18, "ASCII plot height")
@@ -188,7 +192,11 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.FormatShardBench(res))
-		f, err := os.Create(*out)
+		path := *out
+		if path == "" {
+			path = "BENCH_shard.json"
+		}
+		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
@@ -196,7 +204,62 @@ func main() {
 		if err := harness.WriteShardBenchJSON(f, res); err != nil {
 			return err
 		}
-		fmt.Printf("shard sweep written to %s\n", *out)
+		fmt.Printf("shard sweep written to %s\n", path)
+		return nil
+	})
+
+	// The write-path benchmark is likewise explicit-only: it writes
+	// BENCH_writes.json and its gap-harvest numbers deserve a quiet machine.
+	runWrites := func(f func() error) {
+		if *exp != "writes" {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "writes: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	runWrites(func() error {
+		// Same reasoning as -exp net: unless -target was given explicitly,
+		// use a fine piece-size target so the gaps also show cracking work,
+		// not just merge drains.
+		writeTarget := 1 << 7
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "target" {
+				writeTarget = *target
+			}
+		})
+		cfg := harness.WriteBenchConfig{
+			N: *n, Clients: *clients, Bursts: *bursts,
+			BatchesPerBurst: *batches, Batch: *batch,
+			Gap: *gap, Selectivity: *sel, Seed: *seed,
+			TargetPieceSize: writeTarget, IdleWorkers: *workers,
+		}
+		if *smoke {
+			// CI-sized: seconds of wall clock, but still multi-client,
+			// oracle-checked, and enough backlog for gap merges to show.
+			cfg.N, cfg.Clients, cfg.Bursts = 1<<16, 2, 2
+			cfg.BatchesPerBurst, cfg.Batch = 12, 6
+			cfg.Gap = 80 * time.Millisecond
+		}
+		res, err := harness.RunWriteBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatWriteBench(res))
+		path := *out
+		if path == "" {
+			path = "BENCH_writes.json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := harness.WriteWriteBenchJSON(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("write benchmark written to %s\n", path)
 		return nil
 	})
 

@@ -45,6 +45,10 @@ const (
 	// DefaultCrackRetries is how many random pivots a Step tries before
 	// falling back to cracking the largest piece.
 	DefaultCrackRetries = 3
+	// DefaultMergeQuantum is how many buffered update operations one merge
+	// action drains — the merge analogue of "one random crack action",
+	// sized so a step stays in the same latency class as a crack.
+	DefaultMergeQuantum = 512
 )
 
 // Config tunes the holistic tuner.
@@ -94,14 +98,27 @@ type Column interface {
 	CrackIndex() *cracker.Index
 }
 
+// Merger is the optional extension of Column for columns with a batched
+// ingest queue: merging buffered updates into the indexed structures is a
+// refinement action in its own right, ranked against cracking in the same
+// per-shard action queue (see costmodel.MergeScore). PendingOps reports the
+// buffered operation count without latching; MergeStep drains up to max
+// operations (taking the column's exclusive latch itself) and returns how
+// many it applied.
+type Merger interface {
+	PendingOps() int
+	MergeStep(max int) int
+}
+
 // shard is the tuner's per-column slice of the pending-action queue. Workers
 // claim a shard with an atomic flag before acting on it, so two idle workers
 // never crack the same column — and hence never the same piece — at once,
 // and never queue up behind one column's latch while other columns starve.
 type shard struct {
-	col  Column
-	busy atomic.Bool                   // claimed by an in-flight Step
-	ix   atomic.Pointer[cracker.Index] // cached once materialised
+	col    Column
+	merger Merger                        // non-nil when col also buffers updates
+	busy   atomic.Bool                   // claimed by an in-flight Step
+	ix     atomic.Pointer[cracker.Index] // cached once materialised
 }
 
 // index returns the shard's cracker index, materialising it under the
@@ -132,6 +149,8 @@ type Tuner struct {
 	work      int64 // elements touched by those actions
 	boosts    int64 // hot-range boost cracks performed
 	contended int64 // Steps that yielded because every candidate was claimed
+	merges    int64 // refinement actions that drained pending updates
+	mergedOps int64 // buffered operations applied by those merges
 }
 
 // NewTuner builds a tuner around a shared workload collector. A nil
@@ -165,7 +184,11 @@ func (t *Tuner) childRNG() *rand.Rand {
 func (t *Tuner) Register(c Column, domLo, domHi int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.shards = append(t.shards, &shard{col: c})
+	sh := &shard{col: c}
+	if m, ok := c.(Merger); ok {
+		sh.merger = m
+	}
+	t.shards = append(t.shards, sh)
 	if !t.collector.Registered(c.Name()) {
 		t.collector.Register(c.Name(), domLo, domHi)
 	}
@@ -209,6 +232,21 @@ func (t *Tuner) Boosts() int64 {
 	return t.boosts
 }
 
+// Merges returns how many refinement actions drained pending updates
+// instead of cracking.
+func (t *Tuner) Merges() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.merges
+}
+
+// MergedOps returns the buffered update operations applied by merge actions.
+func (t *Tuner) MergedOps() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mergedOps
+}
+
 // Contended returns how many Steps yielded without cracking because every
 // refinable column was already claimed by another worker — a diagnostic for
 // sizing the idle worker pool against the number of active columns.
@@ -225,6 +263,10 @@ type RankEntry struct {
 	Frequency    float64
 	AvgPieceSize float64
 	Pieces       int
+	// PendingOps is the column's buffered update backlog (0 when the column
+	// has no ingest queue). Score reflects the column's best action — crack
+	// or merge — exactly as TryStep would pick it.
+	PendingOps int
 }
 
 // Ranking returns the current ranking, best candidate first. It is a
@@ -239,12 +281,21 @@ func (t *Tuner) Ranking() []RankEntry {
 		avg := ix.AvgPieceSize()
 		pieces := ix.Pieces()
 		sh.col.RUnlock()
+		pending := 0
+		if sh.merger != nil {
+			pending = sh.merger.PendingOps()
+		}
+		score := t.model.Score(freq, avg)
+		if ms := t.model.MergeScore(freq, pending); ms > score {
+			score = ms
+		}
 		entries = append(entries, RankEntry{
 			Column:       sh.col.Name(),
-			Score:        t.model.Score(freq, avg),
+			Score:        score,
 			Frequency:    freq,
 			AvgPieceSize: avg,
 			Pieces:       pieces,
+			PendingOps:   pending,
 		})
 	}
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Score > entries[j].Score })
@@ -300,21 +351,33 @@ func (t *Tuner) TryStep() (work int, res StepResult) {
 	for attempt := 0; attempt < n; attempt++ {
 		var best *shard
 		bestScore := 0.0
+		bestMerge := false
 		refinable := false
 		for i := 0; i < n; i++ {
 			sh := shards[(rr+i)%n]
 			freq := t.collector.Frequency(sh.col.Name())
-			if freq <= 0 {
-				// Score is frequency-weighted: an unqueried, unseeded column
-				// can never rank, so don't materialise its cracked copy
-				// just to score it.
-				continue
+			// A column offers up to two actions: drain its update backlog
+			// (ranked even at zero frequency — reads pay for the backlog
+			// whether or not the tuner has seen queries) and crack. The
+			// shard bids its better one.
+			s, merge := 0.0, false
+			if sh.merger != nil {
+				if pending := sh.merger.PendingOps(); pending > 0 {
+					s, merge = t.model.MergeScore(freq, pending), true
+				}
 			}
-			ix := sh.index()
-			sh.col.RLock()
-			avg := ix.AvgPieceSize()
-			sh.col.RUnlock()
-			s := t.model.Score(freq, avg)
+			if freq > 0 {
+				// Crack score is frequency-weighted: an unqueried, unseeded
+				// column can never rank, so don't materialise its cracked
+				// copy just to score it.
+				ix := sh.index()
+				sh.col.RLock()
+				avg := ix.AvgPieceSize()
+				sh.col.RUnlock()
+				if cs := t.model.Score(freq, avg); cs > s {
+					s, merge = cs, false
+				}
+			}
 			if s <= 0 {
 				continue
 			}
@@ -323,7 +386,7 @@ func (t *Tuner) TryStep() (work int, res StepResult) {
 				continue // another worker owns this column's action queue
 			}
 			if s > bestScore {
-				best, bestScore = sh, s
+				best, bestScore, bestMerge = sh, s, merge
 			}
 		}
 		if best == nil {
@@ -340,11 +403,20 @@ func (t *Tuner) TryStep() (work int, res StepResult) {
 		if !best.busy.CompareAndSwap(false, true) {
 			continue // lost the claim race; rescan for the next best
 		}
-		w := t.crackShard(best)
+		var w int
+		if bestMerge {
+			w = best.merger.MergeStep(DefaultMergeQuantum)
+		} else {
+			w = t.crackShard(best)
+		}
 		best.busy.Store(false)
 		t.mu.Lock()
 		t.actions++
 		t.work += int64(w)
+		if bestMerge {
+			t.merges++
+			t.mergedOps += int64(w)
+		}
 		t.mu.Unlock()
 		return w, StepWorked
 	}

@@ -61,6 +61,25 @@ func (p Params) Score(frequency, avgPieceSize float64) float64 {
 	return frequency * p.Distance(avgPieceSize)
 }
 
+// MergeScore ranks draining a column's pending-update backlog against crack
+// refinement for the same idle slot. The backlog is measured in buffered
+// operations; normalising by the target piece size puts it in the same
+// "remaining halvings"-flavoured units as Score: a backlog the size of one
+// cache-resident piece outranks one halving of an averagely queried column.
+// Unlike cracking, merging pays even on a never-queried column — an unmerged
+// backlog costs every future read an O(backlog) combine — so frequency
+// enters as (1 + frequency): a queried column's backlog ranks higher, but a
+// quiet column's backlog still drains.
+func (p Params) MergeScore(frequency float64, pendingOps int) float64 {
+	if pendingOps <= 0 {
+		return 0
+	}
+	if frequency < 0 {
+		frequency = 0
+	}
+	return (1 + frequency) * float64(pendingOps) / p.target()
+}
+
 // Candidate is one column considered by the ranking scheme.
 type Candidate struct {
 	Column       string

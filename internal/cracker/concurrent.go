@@ -245,7 +245,7 @@ func (ix *Index) RandomCrackInRangeConcurrent(rng *rand.Rand, lo, hi int64) int 
 	if len(ix.vals) == 0 || lo >= hi {
 		return 0
 	}
-	mid := lo + rng.Int64N(hi-lo)
+	mid := randInRange(rng, lo, hi)
 	v, ok := ix.samplePiece(rng, mid)
 	if !ok {
 		return 0

@@ -258,6 +258,14 @@ func (ix *Index) RandomCrackDomain(rng *rand.Rand) int {
 	return size
 }
 
+// randInRange returns a uniform value in [lo, hi), lo < hi. The width is
+// computed in uint64 because hi-lo overflows int64 for extreme ranges — a
+// whereless SELECT boosts with lo = MinInt64, hi = MaxInt64 — and the
+// wrapping add maps the unsigned offset back into [lo, hi) exactly.
+func randInRange(rng *rand.Rand, lo, hi int64) int64 {
+	return lo + int64(rng.Uint64N(uint64(hi)-uint64(lo)))
+}
+
 // RandomCrackInRange performs one random refinement inside the value range
 // [lo, hi): it picks a random element of a piece overlapping the range as
 // pivot (the MDD1R pivot rule) and cracks there. Used for hot-range boosts.
@@ -265,7 +273,7 @@ func (ix *Index) RandomCrackInRange(rng *rand.Rand, lo, hi int64) int {
 	if len(ix.vals) == 0 || lo >= hi {
 		return 0
 	}
-	mid := lo + rng.Int64N(hi-lo)
+	mid := randInRange(rng, lo, hi)
 	a, b := ix.pieceBounds(mid)
 	if b-a < 2 {
 		return 0

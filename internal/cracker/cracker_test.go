@@ -449,3 +449,28 @@ func BenchmarkRandomCrackAction(b *testing.B) {
 		ix.RandomCrackDomain(rng)
 	}
 }
+
+// TestRandomCrackExtremeRange is the regression for the whereless-SELECT
+// boost: [MinInt64, MaxInt64) made hi-lo wrap negative and panic inside
+// Int64N. The sampler must treat the width as unsigned and still produce
+// useful cracks.
+func TestRandomCrackExtremeRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	vals := randomVals(rng, 4096, 1<<30)
+	for name, crack := range map[string]func(ix *Index) int{
+		"serial":     func(ix *Index) int { return ix.RandomCrackInRange(rng, -1<<63, 1<<63-1) },
+		"concurrent": func(ix *Index) int { return ix.RandomCrackInRangeConcurrent(rng, -1<<63, 1<<63-1) },
+	} {
+		ix := newTestIndex(vals)
+		worked := 0
+		for i := 0; i < 64; i++ {
+			worked += crack(ix)
+		}
+		if worked == 0 {
+			t.Fatalf("%s: 64 full-range random cracks did no work", name)
+		}
+		if n, s := ix.CountSumConcurrent(0, 1<<30); n != len(vals) {
+			t.Fatalf("%s: index corrupted by extreme-range cracks: count %d sum %d", name, n, s)
+		}
+	}
+}

@@ -41,7 +41,7 @@ func (e *Engine) DescribePhysicalDesign() []ColumnDesign {
 	for _, t := range tables {
 		t.mu.RLock()
 		names := append([]string(nil), t.order...)
-		live := t.live
+		live := int(t.live.Load())
 		cols := make([]*colState, 0, len(names))
 		for _, n := range names {
 			cols = append(cols, t.cols[n])

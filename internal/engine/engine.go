@@ -126,6 +126,11 @@ type Config struct {
 	// fan out one goroutine per shard and merge. <= 1 keeps one part per
 	// column (the pre-sharding behaviour). See package shard.
 	Shards int
+	// IngestCap bounds each shard's batched ingest queue: the writer whose
+	// enqueue crosses the cap pays an inline merge of the backlog. <= 0
+	// selects shard.DefaultIngestCap. Smaller caps trade write latency
+	// spikes for cheaper reads (the snapshot combine is O(queue)).
+	IngestCap int
 }
 
 // Result is the outcome of one select: the projection's cardinality and sum
@@ -224,6 +229,7 @@ func (e *Engine) shardConfig() shard.Config {
 		RadixBuild:          e.cfg.RadixBuild,
 		ScanParallelism:     par,
 		Seed:                e.cfg.Seed,
+		IngestCap:           e.cfg.IngestCap,
 	}
 }
 
@@ -262,6 +268,45 @@ func (e *Engine) AutoIdleActions() int64 {
 		return 0
 	}
 	return e.runner.Actions()
+}
+
+// writeBegin announces a write to the idle pool — writes count as query
+// activity, so idle workers yield and no new refinement step starts until
+// the write completes — and returns the matching end function. Strategies
+// without an idle pool get a no-op pair.
+func (e *Engine) writeBegin() func() {
+	if e.runner == nil {
+		return func() {}
+	}
+	e.runner.QueryBegin()
+	return e.runner.QueryEnd
+}
+
+// MergeStats reports the idle-pool merge harvest: how many refinement
+// actions drained pending updates and how many buffered operations they
+// applied. Zero for strategies without a tuner.
+func (e *Engine) MergeStats() (merges, ops int64) {
+	if e.tuner == nil {
+		return 0, 0
+	}
+	return e.tuner.Merges(), e.tuner.MergedOps()
+}
+
+// MergePending force-drains every table's ingest queues (see
+// Table.MergePending) and returns the operations applied. Quiesce helper
+// for validation and checkpoints.
+func (e *Engine) MergePending() int {
+	e.mu.RLock()
+	tables := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	e.mu.RUnlock()
+	total := 0
+	for _, t := range tables {
+		total += t.MergePending()
+	}
+	return total
 }
 
 // CreateTable registers a new, empty table.

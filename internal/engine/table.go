@@ -3,21 +3,32 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"holistic/internal/column"
 	"holistic/internal/scan"
 	"holistic/internal/shard"
 )
 
 // Table is a collection of equal-length integer columns.
+//
+// Write concurrency: t.mu guards the catalog (cols, order) and row-level
+// atomicity across columns. Inserts hold it SHARED — any number of writers
+// append concurrently, each reserving its row id with one atomic fetch-add
+// and enqueueing per-column into the shards' ingest queues — while deletes
+// hold it EXCLUSIVE, so a delete never observes a half-inserted row (some
+// columns enqueued, others not). Neither path touches a part's RW latch;
+// buffered updates reach the index structures via merge refinement actions
+// (see package shard).
 type Table struct {
 	name string
 	eng  *Engine
 
 	mu    sync.RWMutex
 	cols  map[string]*colState
-	order []string // column order for row-wise operations
-	rows  int      // total rows ever inserted (including deleted)
-	live  int      // live (non-deleted) rows
+	order []string     // column order for row-wise operations
+	rows  atomic.Int64 // total rows ever inserted (including deleted)
+	live  atomic.Int64 // live (non-deleted) rows
 }
 
 // Name returns the table name.
@@ -32,9 +43,7 @@ func (t *Table) Columns() []string {
 
 // Rows returns the number of live rows.
 func (t *Table) Rows() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.live
+	return int(t.live.Load())
 }
 
 // colState is one logical column: a thin handle over its sharded sub-engines
@@ -159,9 +168,9 @@ func (t *Table) AddColumnFromSlice(name string, vals []int64) error {
 	if _, ok := t.cols[name]; ok {
 		return fmt.Errorf("%w: %s.%s", ErrColumnExists, t.name, name)
 	}
-	if len(t.order) > 0 && len(vals) != t.rows {
+	if len(t.order) > 0 && int64(len(vals)) != t.rows.Load() {
 		return fmt.Errorf("%w: %s.%s has %d values, table has %d rows",
-			ErrLengthMismatch, t.name, name, len(vals), t.rows)
+			ErrLengthMismatch, t.name, name, len(vals), t.rows.Load())
 	}
 	// Domain bounds for histogram registration, before vals is adopted.
 	lo, hi, ok := scan.MinMax(vals)
@@ -176,8 +185,8 @@ func (t *Table) AddColumnFromSlice(name string, vals []int64) error {
 	t.cols[name] = cs
 	t.order = append(t.order, name)
 	if len(t.order) == 1 {
-		t.rows = len(vals)
-		t.live = len(vals)
+		t.rows.Store(int64(len(vals)))
+		t.live.Store(int64(len(vals)))
 	}
 	// Register with the strategy's machinery.
 	switch t.eng.cfg.Strategy {
@@ -203,35 +212,97 @@ func (t *Table) column(name string) (*colState, error) {
 }
 
 // InsertRow appends one row; vals must follow column creation order. It
-// returns the new row id. Each value is routed to its column's shard by the
-// striping rule; index structures absorb the insert per their nature: sorted
-// indexes immediately (O(n) maintenance), cracker indexes via the shard's
-// pending buffer (merged into queried ranges on demand).
+// returns the new row id. The table lock is held SHARED: concurrent inserts
+// proceed in parallel, each reserving its row id with one atomic fetch-add
+// (so every column of one row agrees on the id) and enqueueing per column
+// into the row's shard ingest queue — no part latch is taken. Index
+// structures absorb the insert when the buffered batch is merged by a
+// refinement action (or inline once a queue outgrows its cap); reads see
+// the row immediately through the snapshot-consistent combine.
 func (t *Table) InsertRow(vals ...int64) (uint32, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	defer t.eng.writeBegin()()
+	return t.insertRowLocked(vals)
+}
+
+// insertRowLocked appends one row under a held shared table lock.
+func (t *Table) insertRowLocked(vals []int64) (uint32, error) {
 	if len(vals) != len(t.order) {
 		return 0, fmt.Errorf("%w: insert of %d values into %d columns",
 			ErrLengthMismatch, len(vals), len(t.order))
 	}
-	row := uint32(t.rows)
-	for i, name := range t.order {
-		if _, err := t.cols[name].sc.Append(vals[i]); err != nil {
-			return 0, err
-		}
+	r := t.rows.Add(1) - 1
+	if r >= int64(column.MaxRows) {
+		t.rows.Add(-1)
+		return 0, column.ErrTooLarge
 	}
-	t.rows++
-	t.live++
+	row := uint32(r)
+	for i, name := range t.order {
+		t.cols[name].sc.AppendAt(row, vals[i])
+	}
+	t.live.Add(1)
 	return row, nil
 }
 
+// InsertRows appends a batch of rows — one multi-group INSERT statement —
+// and returns the first new row id. The whole batch shares one shared-lock
+// acquisition and one idle-pool admission; row ids are consecutive.
+func (t *Table) InsertRows(rows [][]int64) (uint32, error) {
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("%w: empty insert batch", ErrLengthMismatch)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	defer t.eng.writeBegin()()
+	first, err := t.insertRowLocked(rows[0])
+	if err != nil {
+		return 0, err
+	}
+	for _, vals := range rows[1:] {
+		if _, err := t.insertRowLocked(vals); err != nil {
+			return first, err
+		}
+	}
+	return first, nil
+}
+
 // DeleteWhere removes the first live row whose column `col` equals value.
-// It reports whether a row was deleted. All columns' index structures drop
-// the row: sorted indexes immediately, cracker indexes via pending deletes
-// in the row's shard.
+// It reports whether a row was deleted. Deletes hold the table lock
+// EXCLUSIVE — a delete must never observe a row some of whose columns are
+// still being enqueued — and buffer a per-shard delete for every column
+// (applied as tombstones at the next merge); a row still sitting in the
+// ingest queues is annihilated in place and never reaches the structures.
 func (t *Table) DeleteWhere(col string, value int64) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	defer t.eng.writeBegin()()
+	return t.deleteWhereLocked(col, value)
+}
+
+// DeleteWhereIn removes, for each value in values, the first live row whose
+// column `col` equals it — the batched DELETE ... WHERE col IN (...) form.
+// It returns how many rows were deleted, sharing one exclusive-lock
+// acquisition and one idle-pool admission across the batch.
+func (t *Table) DeleteWhereIn(col string, values []int64) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.eng.writeBegin()()
+	deleted := 0
+	for _, v := range values {
+		ok, err := t.deleteWhereLocked(col, v)
+		if err != nil {
+			return deleted, err
+		}
+		if ok {
+			deleted++
+		}
+	}
+	return deleted, nil
+}
+
+// deleteWhereLocked deletes under a held exclusive table lock.
+func (t *Table) deleteWhereLocked(col string, value int64) (bool, error) {
 	cs, ok := t.cols[col]
 	if !ok {
 		return false, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, col)
@@ -243,6 +314,31 @@ func (t *Table) DeleteWhere(col string, value int64) (bool, error) {
 	for _, name := range t.order {
 		t.cols[name].sc.DeleteRow(row)
 	}
-	t.live--
+	t.live.Add(-1)
 	return true, nil
+}
+
+// MergePending drains every column's ingest queues into the index
+// structures and returns the operations applied. Quiesce helper: tests and
+// checkpoints call it to force buffered updates through before validating.
+func (t *Table) MergePending() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	total := 0
+	for _, name := range t.order {
+		total += t.cols[name].sc.MergePending()
+	}
+	return total
+}
+
+// PendingOps returns the buffered update operations across all columns.
+func (t *Table) PendingOps() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	total := 0
+	for _, name := range t.order {
+		ins, del := t.cols[name].pendingCounts()
+		total += ins + del
+	}
+	return total
 }

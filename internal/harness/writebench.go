@@ -1,0 +1,442 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"holistic/internal/engine"
+	"holistic/internal/loadgate"
+	"holistic/internal/server"
+	"holistic/internal/workload"
+)
+
+// WriteBenchConfig configures the insert-heavy closed-loop network benchmark:
+// an in-process holisticd over loopback driven by Clients concurrent
+// connections issuing batched INSERTs, IN-list DELETEs and oracle-checked
+// SELECTs through alternating busy bursts and traffic gaps. Writers land in
+// per-shard ingest queues without touching the part latches; the gaps are
+// where the idle pool's ranked merge actions drain the backlog — the write
+// path's rendition of the paper's idle-time protocol.
+type WriteBenchConfig struct {
+	// N is the number of seeded uniform rows in the single benchmark column.
+	// Seeded values live in [1, N]; writers insert disjoint values >= 2N, so
+	// mid-flight reads on the seeded domain have an exact serial oracle.
+	N int
+	// Clients is how many concurrent client connections run closed-loop.
+	Clients int
+	// Bursts is how many busy/gap phases to run.
+	Bursts int
+	// BatchesPerBurst is how many INSERT batches EACH client issues per
+	// burst (each followed by a read, every second one by a delete).
+	BatchesPerBurst int
+	// Batch is the rows per INSERT statement.
+	Batch int
+	// Gap is the wall-clock traffic gap between bursts.
+	Gap time.Duration
+	// Selectivity is the read-query selectivity over the seeded domain.
+	Selectivity float64
+	// Seed makes data, queries and write values reproducible.
+	Seed uint64
+	// TargetPieceSize: see engine.Config.
+	TargetPieceSize int
+	// IngestCap bounds a part's buffered updates before a writer pays an
+	// inline merge (0 = engine default). The benchmark wants the idle pool,
+	// not writers, doing the merging, so the default here is generous.
+	IngestCap int
+	// IdleWorkers / IdleQuiet tune the engine's automatic idle pool.
+	IdleWorkers int
+	IdleQuiet   time.Duration
+	// MaxInFlight bounds server admission (0 = server default).
+	MaxInFlight int
+}
+
+func (c *WriteBenchConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 1 << 20
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Bursts <= 0 {
+		c.Bursts = 3
+	}
+	if c.BatchesPerBurst <= 0 {
+		c.BatchesPerBurst = 40
+	}
+	if c.Batch <= 0 {
+		c.Batch = 8
+	}
+	if c.Gap <= 0 {
+		c.Gap = 250 * time.Millisecond
+	}
+	if c.Selectivity <= 0 {
+		c.Selectivity = 0.01
+	}
+	if c.TargetPieceSize <= 0 {
+		c.TargetPieceSize = 1 << 10
+	}
+	if c.IngestCap <= 0 {
+		c.IngestCap = 1 << 14
+	}
+	if c.IdleQuiet <= 0 {
+		c.IdleQuiet = 2 * time.Millisecond
+	}
+}
+
+// WriteBurst is one busy phase plus the traffic gap that follows it. The
+// JSON field names are the contract docs/bench_writes.schema.json validates.
+type WriteBurst struct {
+	Inserts int `json:"inserts"` // rows appended across all clients
+	Deletes int `json:"deletes"` // rows removed across all clients
+	Reads   int `json:"reads"`   // oracle-checked selects across all clients
+	// Statements is the wire statements issued (insert batches + deletes +
+	// reads); latency percentiles are over statements, not rows.
+	Statements    int     `json:"statements"`
+	P50US         int64   `json:"p50_us"`
+	P99US         int64   `json:"p99_us"`
+	StmtsPerSec   float64 `json:"stmts_per_sec"`
+	PendingAtEnd  int     `json:"pending_at_end"`  // buffered ops when the burst quiesced
+	GapMerges     int64   `json:"gap_merges"`      // merge actions during the gap
+	GapMergedOps  int64   `json:"gap_merged_ops"`  // buffered ops drained during the gap
+	GapActions    int64   `json:"gap_actions"`     // all idle actions during the gap
+	PendingAfter  int     `json:"pending_after"`   // buffered ops after the gap
+	GapDurationMS float64 `json:"gap_duration_ms"` // wall-clock gap length
+}
+
+// WriteBenchResult is the machine-readable outcome of RunWriteBench,
+// serialised to BENCH_writes.json.
+type WriteBenchResult struct {
+	Bench           string       `json:"bench"`
+	N               int          `json:"n"`
+	Clients         int          `json:"clients"`
+	Bursts          int          `json:"bursts"`
+	BatchesPerBurst int          `json:"batches_per_burst"`
+	Batch           int          `json:"batch"`
+	Seed            uint64       `json:"seed"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Runs            []WriteBurst `json:"runs"`
+	// RowsInserted / RowsDeleted are the run's committed write totals; the
+	// final full-range read must equal seed + inserted - deleted exactly.
+	RowsInserted int `json:"rows_inserted"`
+	RowsDeleted  int `json:"rows_deleted"`
+	// OracleOK records that every mid-flight read matched the serial oracle
+	// AND the final count/sum replay balanced — no row lost, duplicated or
+	// torn anywhere in the batched-ingest / merge / snapshot-read cycle.
+	OracleOK bool `json:"oracle_ok"`
+	// Merges / MergedOps is the idle pool's total merge harvest; GateWrites
+	// is the load gate's write-statement tally.
+	Merges     int64 `json:"merges"`
+	MergedOps  int64 `json:"merged_ops"`
+	GateWrites int64 `json:"gate_writes"`
+	// PendingFinal is the buffered backlog after the closing full merge —
+	// zero, or the ingest path leaked an operation.
+	PendingFinal int `json:"pending_final"`
+}
+
+// clientLedger is one client's committed writes, for the final serial
+// replay: values are client-unique, so the replay is exact.
+type clientLedger struct {
+	insCount, delCount int
+	insSum, delSum     int64
+}
+
+// RunWriteBench starts an in-process holisticd on loopback and drives it
+// with Clients concurrent closed-loop connections through Bursts busy/gap
+// phases of batched INSERTs, IN-list DELETEs and SELECTs. Mid-flight reads
+// are checked against the seeded-domain oracle (writers only touch values
+// >= 2N); after the last burst the full-range (count, sum) must equal the
+// seed plus every committed write, the closing merge must drain the backlog
+// to zero, and each gap's merge harvest is recorded.
+func RunWriteBench(cfg WriteBenchConfig) (*WriteBenchResult, error) {
+	cfg.defaults()
+
+	// Pin the gate busy through setup, as RunNetBench does: the idle pool
+	// must not start before traffic defines the gaps.
+	gate := loadgate.New()
+	gate.Begin()
+	eng := engine.New(engine.Config{
+		Strategy:        engine.StrategyHolistic,
+		Seed:            cfg.Seed,
+		TargetPieceSize: cfg.TargetPieceSize,
+		IngestCap:       cfg.IngestCap,
+		AutoIdle:        true,
+		IdleQuiet:       cfg.IdleQuiet,
+		IdleWorkers:     cfg.IdleWorkers,
+	})
+	defer eng.Close()
+	eng.SetLoadGate(gate)
+
+	vals := workload.UniformData(cfg.Seed^0x7713, cfg.N, 1, int64(cfg.N)+1)
+	var seedSum int64
+	for _, v := range vals {
+		seedSum += v
+	}
+	tab, err := eng.CreateTable("r")
+	if err != nil {
+		return nil, err
+	}
+	if err := tab.AddColumnFromSlice("a", append([]int64(nil), vals...)); err != nil {
+		return nil, err
+	}
+	orc := newPrefixOracle(vals)
+
+	srv := server.New(server.Config{Engine: eng, Gate: gate, MaxInFlight: cfg.MaxInFlight})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(lis)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	clients := make([]*server.Client, cfg.Clients)
+	for i := range clients {
+		c, err := server.Dial(lis.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	res := &WriteBenchResult{
+		Bench:           "writes",
+		N:               cfg.N,
+		Clients:         cfg.Clients,
+		Bursts:          cfg.Bursts,
+		BatchesPerBurst: cfg.BatchesPerBurst,
+		Batch:           cfg.Batch,
+		Seed:            cfg.Seed,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		OracleOK:        true,
+	}
+	ledgers := make([]clientLedger, cfg.Clients)
+	valueSeq := make([]int64, cfg.Clients)
+
+	gate.End() // setup done: traffic is now the only load authority
+	for b := 0; b < cfg.Bursts; b++ {
+		burst, err := runWriteBurst(cfg, clients, orc, ledgers, valueSeq, b)
+		if err != nil {
+			return nil, err
+		}
+		burst.PendingAtEnd = tab.PendingOps()
+		mergesBefore, opsBefore := eng.MergeStats()
+		actionsBefore := eng.AutoIdleActions()
+		time.Sleep(cfg.Gap)
+		mergesAfter, opsAfter := eng.MergeStats()
+		burst.GapMerges = mergesAfter - mergesBefore
+		burst.GapMergedOps = opsAfter - opsBefore
+		burst.GapActions = eng.AutoIdleActions() - actionsBefore
+		burst.PendingAfter = tab.PendingOps()
+		burst.GapDurationMS = float64(cfg.Gap.Microseconds()) / 1000
+		res.Runs = append(res.Runs, *burst)
+	}
+
+	// Serial replay: the run's end state must balance to the committed
+	// ledger exactly — first through the combined (merged + queued) view,
+	// then again after a full merge with everything materialised.
+	wantCount, wantSum := cfg.N, seedSum
+	for _, l := range ledgers {
+		res.RowsInserted += l.insCount
+		res.RowsDeleted += l.delCount
+		wantCount += l.insCount - l.delCount
+		wantSum += l.insSum - l.delSum
+	}
+	check := func(stage string) error {
+		count, sum, err := clients[0].Query("select a from r")
+		if err != nil {
+			return fmt.Errorf("writebench: %s full-range read: %w", stage, err)
+		}
+		if count != wantCount || sum != wantSum {
+			res.OracleOK = false
+			return fmt.Errorf("writebench: %s replay mismatch: got %d/%d want %d/%d",
+				stage, count, sum, wantCount, wantSum)
+		}
+		return nil
+	}
+	if err := check("quiesced"); err != nil {
+		return nil, err
+	}
+	tab.MergePending()
+	if err := check("post-merge"); err != nil {
+		return nil, err
+	}
+	res.PendingFinal = tab.PendingOps()
+	if res.PendingFinal != 0 {
+		res.OracleOK = false
+		return nil, fmt.Errorf("writebench: %d buffered ops survived the closing merge", res.PendingFinal)
+	}
+	res.Merges, res.MergedOps = eng.MergeStats()
+	res.GateWrites = gate.Snapshot().Writes
+	return res, nil
+}
+
+// runWriteBurst drives every client through one closed-loop busy phase of
+// insert-batch / delete / read rounds.
+func runWriteBurst(cfg WriteBenchConfig, clients []*server.Client, orc *prefixOracle,
+	ledgers []clientLedger, valueSeq []int64, burst int) (*WriteBurst, error) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+		errs []error
+		out  WriteBurst
+	)
+	fail := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+	start := time.Now()
+	for ci, c := range clients {
+		wg.Add(1)
+		go func(ci int, c *server.Client) {
+			defer wg.Done()
+			gen := workload.NewUniform("r", "a", 1, int64(cfg.N)+1, cfg.Selectivity,
+				cfg.Seed+uint64(burst*len(clients)+ci))
+			ledger := clientLedger{}
+			local := make([]time.Duration, 0, 3*cfg.BatchesPerBurst)
+			exec := func(stmt string, wantRows int) bool {
+				t0 := time.Now()
+				resp, err := c.Exec(stmt)
+				local = append(local, time.Since(t0))
+				if err != nil {
+					fail(fmt.Errorf("client %d: %w", ci, err))
+					return false
+				}
+				if !resp.OK {
+					fail(fmt.Errorf("client %d: server: %s", ci, resp.Error))
+					return false
+				}
+				if resp.Count != wantRows {
+					fail(fmt.Errorf("client %d: %q affected %d rows, want %d",
+						ci, stmt[:min(len(stmt), 60)], resp.Count, wantRows))
+					return false
+				}
+				return true
+			}
+			base := 2*int64(cfg.N) + int64(ci)<<32
+			for b := 0; b < cfg.BatchesPerBurst; b++ {
+				// Batched insert of client-unique values above the domain.
+				batch := make([]int64, cfg.Batch)
+				var stmt strings.Builder
+				stmt.WriteString("insert into r values ")
+				for i := range batch {
+					batch[i] = base + valueSeq[ci]
+					valueSeq[ci]++
+					if i > 0 {
+						stmt.WriteString(", ")
+					}
+					fmt.Fprintf(&stmt, "(%d)", batch[i])
+				}
+				if !exec(stmt.String(), len(batch)) {
+					return
+				}
+				for _, v := range batch {
+					ledger.insCount++
+					ledger.insSum += v
+				}
+				// Every second batch, delete its first half again — an IN
+				// list that usually lands on still-queued rows, exercising
+				// in-queue annihilation over the wire.
+				if b%2 == 1 {
+					half := batch[:cfg.Batch/2+1]
+					var del strings.Builder
+					del.WriteString("delete from r where a in (")
+					for i, v := range half {
+						if i > 0 {
+							del.WriteString(", ")
+						}
+						fmt.Fprintf(&del, "%d", v)
+					}
+					del.WriteString(")")
+					if !exec(del.String(), len(half)) {
+						return
+					}
+					for _, v := range half {
+						ledger.delCount++
+						ledger.delSum += v
+					}
+				}
+				// Closed-loop read on the seeded domain: exact mid-flight.
+				q := gen.Next()
+				t0 := time.Now()
+				count, sum, err := c.Query(fmt.Sprintf(
+					"select a from r where a >= %d and a < %d", q.Lo, q.Hi))
+				local = append(local, time.Since(t0))
+				if err != nil {
+					fail(fmt.Errorf("client %d: %w", ci, err))
+					return
+				}
+				wc, ws := orc.countSum(q.Lo, q.Hi)
+				if count != wc || sum != ws {
+					fail(fmt.Errorf(
+						"client %d diverged from oracle on [%d,%d): got %d/%d want %d/%d",
+						ci, q.Lo, q.Hi, count, sum, wc, ws))
+					return
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			ledgers[ci].insCount += ledger.insCount
+			ledgers[ci].insSum += ledger.insSum
+			ledgers[ci].delCount += ledger.delCount
+			ledgers[ci].delSum += ledger.delSum
+			out.Inserts += ledger.insCount
+			out.Deletes += ledger.delCount
+			out.Reads += cfg.BatchesPerBurst
+			mu.Unlock()
+		}(ci, c)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	elapsed := time.Since(start)
+	p50, _, p99, _ := LatencyProfile(lats)
+	out.Statements = len(lats)
+	out.P50US = p50.Microseconds()
+	out.P99US = p99.Microseconds()
+	out.StmtsPerSec = float64(len(lats)) / elapsed.Seconds()
+	return &out, nil
+}
+
+// WriteWriteBenchJSON serialises the result as indented JSON — the
+// BENCH_writes.json format the CI schema check validates.
+func WriteWriteBenchJSON(w io.Writer, res *WriteBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// FormatWriteBench renders the benchmark as a per-burst table plus the
+// write-path balance summary.
+func FormatWriteBench(res *WriteBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Write benchmark: %d clients closed-loop over loopback, %d seeded rows, %d bursts x %d batches/client x %d rows, GOMAXPROCS=%d\n",
+		res.Clients, res.N, res.Bursts, res.BatchesPerBurst, res.Batch, res.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-7s %8s %8s %6s %10s %10s %10s | %8s %11s %11s %9s\n",
+		"phase", "inserts", "deletes", "reads", "p50", "p99", "stmts/s",
+		"pending", "gap merges", "gap ops", "left")
+	for i, r := range res.Runs {
+		fmt.Fprintf(&b, "burst%-2d %8d %8d %6d %8dµs %8dµs %10.0f | %8d %11d %11d %9d\n",
+			i, r.Inserts, r.Deletes, r.Reads, r.P50US, r.P99US, r.StmtsPerSec,
+			r.PendingAtEnd, r.GapMerges, r.GapMergedOps, r.PendingAfter)
+	}
+	fmt.Fprintf(&b, "writes committed: %d rows inserted, %d deleted across %d write statements (gate)\n",
+		res.RowsInserted, res.RowsDeleted, res.GateWrites)
+	fmt.Fprintf(&b, "idle merge harvest: %d merge actions drained %d buffered ops; %d ops left after closing merge\n",
+		res.Merges, res.MergedOps, res.PendingFinal)
+	fmt.Fprintf(&b, "oracle: every mid-flight read exact, final replay balanced (%v)\n", res.OracleOK)
+	return b.String()
+}

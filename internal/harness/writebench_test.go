@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunWriteBenchSmall(t *testing.T) {
+	cfg := WriteBenchConfig{
+		N:               30_000,
+		Clients:         2,
+		Bursts:          2,
+		BatchesPerBurst: 8,
+		Batch:           5,
+		Gap:             40 * time.Millisecond,
+		Seed:            3,
+		TargetPieceSize: 64,
+		IdleWorkers:     2,
+		IdleQuiet:       2 * time.Millisecond,
+	}
+	res, err := RunWriteBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != cfg.Bursts {
+		t.Fatalf("phases: %d, want %d", len(res.Runs), cfg.Bursts)
+	}
+	// Every client inserts Batch rows per batch; every second batch deletes
+	// Batch/2+1 of them again.
+	wantIns := cfg.Clients * cfg.Bursts * cfg.BatchesPerBurst * cfg.Batch
+	wantDel := cfg.Clients * cfg.Bursts * (cfg.BatchesPerBurst / 2) * (cfg.Batch/2 + 1)
+	if res.RowsInserted != wantIns || res.RowsDeleted != wantDel {
+		t.Fatalf("committed %d/%d rows, want %d/%d",
+			res.RowsInserted, res.RowsDeleted, wantIns, wantDel)
+	}
+	if !res.OracleOK {
+		t.Fatal("oracle flagged not ok on a successful run")
+	}
+	if res.PendingFinal != 0 {
+		t.Fatalf("%d buffered ops after closing merge", res.PendingFinal)
+	}
+	// Ingest is deferred by design: the backlog must exist at burst end and
+	// the idle pool must drain some of it during gaps.
+	sawBacklog, harvested := false, int64(0)
+	for i, r := range res.Runs {
+		if r.Statements == 0 || r.P50US < 0 || r.P99US < r.P50US {
+			t.Fatalf("burst %d latencies implausible: %+v", i, r)
+		}
+		if r.PendingAtEnd > 0 {
+			sawBacklog = true
+		}
+		harvested += r.GapMergedOps
+	}
+	if !sawBacklog {
+		t.Fatal("no burst ended with a buffered backlog — writes are not being queued")
+	}
+	if harvested == 0 {
+		t.Fatalf("gaps drained no buffered ops: %+v", res.Runs)
+	}
+	if res.MergedOps < harvested {
+		t.Fatalf("total merged ops %d < gap harvest %d", res.MergedOps, harvested)
+	}
+	// Each client issues one write statement per batch plus one per delete.
+	wantWrites := int64(cfg.Clients * cfg.Bursts * (cfg.BatchesPerBurst + cfg.BatchesPerBurst/2))
+	if res.GateWrites != wantWrites {
+		t.Fatalf("gate counted %d write statements, want %d", res.GateWrites, wantWrites)
+	}
+
+	out := FormatWriteBench(res)
+	for _, needle := range []string{"Write benchmark", "burst0", "idle merge harvest", "oracle"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("FormatWriteBench output missing %q:\n%s", needle, out)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteWriteBenchJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if round["bench"] != "writes" || round["oracle_ok"] != true {
+		t.Fatalf("emitted JSON wrong header: bench=%v oracle_ok=%v", round["bench"], round["oracle_ok"])
+	}
+}

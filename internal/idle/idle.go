@@ -16,11 +16,16 @@
 //
 // Preemption protocol: a step is claimed, not just run. Every worker (and
 // RunActions) first checks that no query is active, announces its claim,
-// then re-checks activity before invoking the step function — so a query
-// arriving between the idle check and the step forces a yield instead of
-// riding in the query's critical path. Steps themselves are small (one
-// crack action) and therefore bounded-latency; the claim re-check shrinks
-// the preemption window to the step boundary, which is the granularity the
+// then atomically takes a step token before invoking the step function. The
+// token lives in one packed atomic word alongside the in-flight query count
+// (the same construction internal/loadgate uses for network traffic), and
+// is only ever issued by a compare-and-swap that observes the query count
+// at exactly zero — so "query admitted" and "step started" are ordered by a
+// single linearisation point and a refinement action can never start after
+// a query (or write) was admitted. There is no check-then-act window left:
+// a QueryBegin between the worker's load and its CAS fails the CAS and the
+// worker yields. Steps themselves are small (one crack action, one merge
+// quantum) and therefore bounded-latency, which is the granularity the
 // paper's "small, preemptible actions" design calls for. The step function
 // must be safe for concurrent calls when the pool has more than one worker;
 // the holistic tuner guarantees this via per-column action claims and
@@ -79,16 +84,19 @@ type Runner struct {
 	quantum int
 	workers int
 
-	active  atomic.Int64 // in-flight queries
+	// state packs the in-flight query count (upper bits, from queryShift)
+	// and the running step count (lower bits) into one atomic word so the
+	// zero-queries check and the step-token grant are a single CAS.
+	state   atomic.Int64
 	lastEnd atomic.Int64 // UnixNano of last query completion
 	actions atomic.Int64 // total actions executed
 	stopped atomic.Bool
 	gate    atomic.Value // Gate; external load signal, nil until SetGate
 
-	// testHookClaim, when non-nil, runs between a step's claim and the final
-	// activity re-check. Tests use it to provoke the query-arrives-mid-claim
-	// interleaving deterministically. Set before Start/RunActions; never
-	// mutated while workers run.
+	// testHookClaim, when non-nil, runs between a step's claim and the
+	// atomic token grant. Tests use it to provoke the
+	// query-arrives-mid-claim interleaving deterministically. Set before
+	// Start/RunActions; never mutated while workers run.
 	testHookClaim func()
 
 	mu     sync.Mutex // guards start/stop state
@@ -166,30 +174,69 @@ func (r *Runner) loadGate() Gate {
 	return nil
 }
 
+// queryShift positions the in-flight query count above the running step
+// count in Runner.state, leaving 24 bits for concurrent steps — far above
+// any worker pool size.
+const queryShift = 24
+
 // QueryBegin tells the runner a query entered the system. Automatic workers
-// finish (or abandon) their current claim and then yield.
-func (r *Runner) QueryBegin() { r.active.Add(1) }
+// finish their current step (steps are bounded: one crack, one merge
+// quantum) and then yield; no new step token is granted until the query
+// completes.
+func (r *Runner) QueryBegin() { r.state.Add(1 << queryShift) }
 
 // QueryEnd tells the runner a query completed, restarting the quiet clock.
+// The clock is stamped before the count drops so a worker that observes
+// zero queries always observes a fresh quiet timestamp too.
 func (r *Runner) QueryEnd() {
 	r.lastEnd.Store(time.Now().UnixNano())
-	r.active.Add(-1)
+	r.state.Add(-1 << queryShift)
 }
+
+// activeQueries returns the in-flight query count.
+func (r *Runner) activeQueries() int64 { return r.state.Load() >> queryShift }
+
+// RunningSteps returns how many tuning steps are executing right now.
+func (r *Runner) RunningSteps() int64 { return r.state.Load() & (1<<queryShift - 1) }
+
+// stepBegin atomically grants a step token iff no query is in flight: the
+// CAS fails if anything — in particular a QueryBegin — touched the state
+// word after the load, so a token is never issued concurrently with an
+// admission. Callers that got true must call stepEnd after the step.
+func (r *Runner) stepBegin() bool {
+	for {
+		s := r.state.Load()
+		if s>>queryShift > 0 {
+			return false
+		}
+		if r.state.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
+func (r *Runner) stepEnd() { r.state.Add(-1) }
 
 // Actions returns the total number of tuning actions executed so far (both
 // manual and automatic).
 func (r *Runner) Actions() int64 { return r.actions.Load() }
 
-// claimStep attempts to run exactly one tuning action. It re-checks query
-// activity after announcing the claim, closing the window in which a query
-// arriving between the caller's idle check and the step would have had a
-// refinement action land in its critical path. With a load gate attached
-// the step additionally holds a gate token, which is only ever issued while
-// the gate's in-flight request count is exactly zero. ran reports whether
-// the step executed; more is false only when the step function reports
-// exhaustion.
+// SetClaimHook installs a function that runs between a step's claim and the
+// atomic token grant, or removes it (nil). Tests use it to provoke the
+// query-arrives-mid-claim interleaving deterministically; it must be set
+// while no workers run.
+func (r *Runner) SetClaimHook(h func()) { r.testHookClaim = h }
+
+// claimStep attempts to run exactly one tuning action. After the
+// preliminary idle checks it takes the runner's step token — a CAS that
+// only succeeds while the in-flight query count is exactly zero — so a
+// query admitted at any point before the token grant forces a yield; there
+// is no re-check race left. With a load gate attached the step additionally
+// holds a gate token under the same zero-in-flight rule for network
+// traffic. ran reports whether the step executed; more is false only when
+// the step function reports exhaustion.
 func (r *Runner) claimStep() (ran, more bool) {
-	if r.active.Load() > 0 {
+	if r.activeQueries() > 0 {
 		return false, true
 	}
 	g := r.loadGate()
@@ -206,10 +253,11 @@ func (r *Runner) claimStep() (ran, more bool) {
 		}
 		defer g.StepEnd()
 	}
-	if r.active.Load() > 0 {
+	if !r.stepBegin() {
 		// A query slipped in after the claim: yield without stepping.
 		return false, true
 	}
+	defer r.stepEnd()
 	if !r.step() {
 		return false, false
 	}
@@ -237,7 +285,7 @@ func (r *Runner) RunActions(n int) int {
 // query, the engine-level quiet period elapsed, and — with a load gate
 // attached — no request in flight and the traffic gap at least as long.
 func (r *Runner) idleNow() bool {
-	if r.active.Load() > 0 {
+	if r.activeQueries() > 0 {
 		return false
 	}
 	if g := r.loadGate(); g != nil {

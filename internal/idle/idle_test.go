@@ -2,6 +2,7 @@ package idle
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -161,6 +162,75 @@ func TestClaimRecheckPreemptsStep(t *testing.T) {
 	r.QueryEnd()
 	if got := r.RunActions(3); got != 3 {
 		t.Fatalf("ran %d actions after query end, want 3", got)
+	}
+}
+
+// TestClaimHookSeesTokenDenied drives the same mid-claim interleaving through
+// the exported hook (what out-of-package tests use) and additionally pins the
+// token mechanics: with a write admitted inside the claim window the CAS-based
+// stepBegin must refuse, and the refusal must leave no token leaked behind.
+func TestClaimHookSeesTokenDenied(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRunner(func() bool { calls.Add(1); return true })
+	r.SetClaimHook(func() { r.QueryBegin() })
+	if got := r.RunActions(1); got != 0 {
+		t.Fatalf("ran %d actions despite write admitted inside the claim", got)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("step executed in the write's critical path")
+	}
+	if r.RunningSteps() != 0 {
+		t.Fatalf("leaked step token: RunningSteps = %d", r.RunningSteps())
+	}
+	r.SetClaimHook(nil)
+	r.QueryEnd()
+	if got := r.RunActions(2); got != 2 {
+		t.Fatalf("ran %d actions after write end, want 2", got)
+	}
+}
+
+// TestStepNeverStartsAfterAdmission is the rendezvous proof for the write
+// path: once a write has been admitted (QueryBegin returned), no tuning step
+// may start until it completes. Steppers race for tokens while the main
+// goroutine repeatedly admits a write, waits for pre-admission steps to
+// drain (steps are bounded), and then verifies the action counter is frozen
+// — any increment after the drain would mean a step token was granted
+// against a live admission, the exact check-then-act bug the packed-word CAS
+// removes. Run under -race this also exercises the token path for data races.
+func TestStepNeverStartsAfterAdmission(t *testing.T) {
+	var stop atomic.Bool
+	r := NewRunner(func() bool { return true })
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				r.RunActions(1)
+				runtime.Gosched() // the real pool sleeps between wakeups
+			}
+		}()
+	}
+	for k := 0; k < 100; k++ {
+		r.QueryBegin()
+		// Steps granted before the admission are allowed to finish; wait
+		// them out (each is a no-op here, so this is instant in practice).
+		for r.RunningSteps() != 0 {
+			runtime.Gosched()
+		}
+		before := r.Actions()
+		for i := 0; i < 50; i++ {
+			runtime.Gosched()
+		}
+		if got := r.Actions(); got != before {
+			t.Fatalf("%d steps started while a write was admitted", got-before)
+		}
+		r.QueryEnd()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if r.RunningSteps() != 0 {
+		t.Fatalf("unbalanced tokens after drain: %d", r.RunningSteps())
 	}
 }
 

@@ -60,6 +60,7 @@ type Gate struct {
 
 	arrivals  atomic.Int64 // requests ever admitted
 	completed atomic.Int64 // requests ever finished
+	writes    atomic.Int64 // requests that mutated data (inserts/deletes)
 	grants    atomic.Int64 // refinement step tokens issued
 	rejected  atomic.Int64 // step requests denied because traffic was live
 	gaps      atomic.Int64 // busy -> idle transitions observed
@@ -115,6 +116,15 @@ func (g *Gate) End() {
 		g.gaps.Add(1)
 	}
 }
+
+// NoteWrite reports that an admitted request mutated data. Writes ride the
+// same Begin/End lifecycle as every request — a write in flight vetoes
+// refinement steps exactly like a read — so this only tallies the mix for
+// reporting; the server calls it once per insert/delete statement executed.
+func (g *Gate) NoteWrite() { g.writes.Add(1) }
+
+// Writes returns how many admitted requests mutated data.
+func (g *Gate) Writes() int64 { return g.writes.Load() }
 
 // InFlight returns the number of requests currently in the system.
 func (g *Gate) InFlight() int64 { return g.state.Load() >> stepperBits }
@@ -236,6 +246,7 @@ type Stats struct {
 	RunningSteps int64   `json:"running_steps"`
 	Arrivals     int64   `json:"arrivals"`
 	Completed    int64   `json:"completed"`
+	Writes       int64   `json:"writes"`
 	StepGrants   int64   `json:"step_grants"`
 	StepRejected int64   `json:"step_rejected"`
 	Gaps         int64   `json:"gaps"`
@@ -250,6 +261,7 @@ func (g *Gate) Snapshot() Stats {
 		RunningSteps: g.RunningSteps(),
 		Arrivals:     g.arrivals.Load(),
 		Completed:    g.completed.Load(),
+		Writes:       g.writes.Load(),
 		StepGrants:   g.grants.Load(),
 		StepRejected: g.rejected.Load(),
 		Gaps:         g.gaps.Load(),

@@ -312,6 +312,11 @@ func (s *Server) execute(req Request) Response {
 	if err != nil {
 		return errResponse(req.ID, err)
 	}
+	if res.Kind != sqlmini.KindSelect {
+		// Writes are traffic like any request (Begin/End already vetoes
+		// refinement steps); the gate additionally tallies the mix.
+		s.gate.NoteWrite()
+	}
 	s.served.Add(1)
 	return okResponse(req.ID, res)
 }

@@ -36,17 +36,53 @@
 // on another node: the fan-out/merge in Column is already the client side of
 // a scatter/gather, and nothing in the engine above this layer would change.
 //
+// # Write path
+//
+// Writers never take a part's RW latch. Every insert and delete lands in the
+// part's ingest queue (updates.Queue) behind its own leaf mutex, so an
+// append costs one row-id fetch-add plus one short critical section per
+// column, concurrent with any number of selects and idle refinements.
+// Buffered updates reach the indexed structures through MergeStep, which IS
+// a refinement action: the holistic tuner ranks "drain this shard's queue"
+// against "crack this shard" (see internal/core and costmodel.MergeScore)
+// and the idle pool executes whichever pays more, so merging happens in
+// traffic gaps. A queue that outgrows IngestCap forces an inline merge on
+// the writer that crossed the cap — amortised batching, the backstop for
+// strategies with no idle pool.
+//
+// MergeStep applies deletes in any order (tombstones) but inserts only in
+// dense local-row order: the base storage is a positional array, so drained
+// inserts must be exactly rows next, next+stride, next+2·stride... A row id
+// still in flight (assigned but not yet enqueued) leaves a gap that pauses
+// insert draining until it lands; deletes and earlier rows still drain.
+//
+// # Snapshot reads
+//
+// A select must observe every row exactly once while merges move rows from
+// the queue into the structures. Reads combine (merged result under the
+// shared latch) + (queue's net CountSum) and validate the pair with the
+// part's merge epoch, a sequence lock: MergeStep, already holding the
+// exclusive latch, increments the epoch to odd before touching any
+// structure and back to even after. A reader that loads an unchanged even
+// epoch around the pair knows no merge moved rows between its two reads; on
+// repeated interference it falls back to evaluating both under the shared
+// latch, which excludes merges entirely. No row is double counted (it is in
+// the structures xor the queue at any even epoch) and none is dropped.
+//
 // # Latching
 //
 // Each Part carries its own reader/writer latch with exactly the semantics
 // the unsharded column had (see internal/engine): the write side is only for
-// structural changes (materialising the cracked copy, merging pending
-// updates, (re)building the sorted index, tombstoning), while the read side
+// structural changes (materialising the cracked copy, merging the ingest
+// queue, (re)building the sorted index, tombstoning), while the read side
 // admits any number of queries and idle workers, which coordinate through
-// the cracker index's piece-level latches. The idle pool's claim/re-check
-// protocol and the load gate's zero-in-flight CAS apply per part unchanged:
-// each Part registers with the holistic tuner as its own action-queue shard,
-// so during a traffic gap N parts drain refinement actions concurrently.
+// the cracker index's piece-level latches. The ingest queue's mutex is a
+// leaf below the part latch: queue methods never take the latch, and both
+// "latch then queue" (merge, reads' fallback) and "queue only" (writers)
+// orders are deadlock free. The idle pool's claim/re-check protocol and the
+// load gate's zero-in-flight CAS apply per part unchanged: each Part
+// registers with the holistic tuner as its own action-queue shard, so during
+// a traffic gap N parts drain refinement actions concurrently.
 package shard
 
 import (
@@ -62,6 +98,17 @@ import (
 	"holistic/internal/stochastic"
 	"holistic/internal/updates"
 )
+
+// DefaultIngestCap is the per-part queue length that forces an inline merge
+// on the writer that crossed it — the batching backstop when no idle pool
+// drains the queue. Large enough that bursts amortise, small enough that
+// reads' O(queue) combine stays cheap.
+const DefaultIngestCap = 4096
+
+// seqlockRetries is how many optimistic epoch-validated read attempts a
+// select makes before falling back to holding the shared latch across both
+// the merged and queue reads.
+const seqlockRetries = 3
 
 // Config fixes a sharded column's physical-design parameters at creation.
 type Config struct {
@@ -81,6 +128,9 @@ type Config struct {
 	ScanParallelism int
 	// Seed derives per-part RNG seeds for stochastic variants.
 	Seed uint64
+	// IngestCap bounds a part's ingest queue: the writer whose enqueue
+	// crosses the cap pays an inline merge. <= 0 selects DefaultIngestCap.
+	IngestCap int
 }
 
 func (c Config) shards() int {
@@ -90,15 +140,24 @@ func (c Config) shards() int {
 	return c.Shards
 }
 
+func (c Config) ingestCap() int {
+	if c.IngestCap <= 0 {
+		return DefaultIngestCap
+	}
+	return c.IngestCap
+}
+
 // Column is one logical column split into per-shard Parts, with fan-out and
 // merge of range aggregates. Reads fan out concurrently; appends and deletes
-// must be serialised by the caller (the engine's table lock does this), like
-// the row-wise operations they are part of.
+// are safe for concurrent use — appends only touch per-part ingest queues,
+// while the caller (the engine's table lock, held shared by inserts and
+// exclusively by deletes) keeps row-level delete/insert atomicity across
+// columns.
 type Column struct {
 	name  string
 	cfg   Config
 	parts []*Part
-	rows  int // rows ever appended; guarded by the caller's append serialisation
+	rows  atomic.Int64 // high-water mark of rows ever appended
 
 	// Fan-out instrumentation: how many per-part select workers are active
 	// right now and the high-water mark ever observed. The benchmark records
@@ -120,7 +179,8 @@ func NewColumn(name string, vals []int64, cfg Config) (*Column, error) {
 		return nil, column.ErrTooLarge
 	}
 	n := cfg.shards()
-	c := &Column{name: name, cfg: cfg, rows: len(vals)}
+	c := &Column{name: name, cfg: cfg}
+	c.rows.Store(int64(len(vals)))
 	per := (len(vals) + n - 1) / n
 	split := make([][]int64, n)
 	for i := range split {
@@ -159,8 +219,9 @@ func (c *Column) Shards() int { return len(c.parts) }
 // Parts returns the per-shard sub-engines, in shard order.
 func (c *Column) Parts() []*Part { return c.parts }
 
-// Rows returns the number of rows ever appended (including deleted ones).
-func (c *Column) Rows() int { return c.rows }
+// Rows returns the number of rows ever appended (including deleted and
+// not-yet-merged ones).
+func (c *Column) Rows() int { return int(c.rows.Load()) }
 
 // MaxFanOut returns the highest number of per-part select workers ever
 // observed running concurrently on this column — at least 1 once any select
@@ -227,23 +288,40 @@ func (c *Column) FanOutCountSum(f func(p *Part) (int, int64)) (int, int64) {
 	return count, sum
 }
 
-// Append routes one value to its part by the striping rule and returns the
-// new global row id. Callers serialise appends (the engine's table lock).
+// Append assigns the next global row id to v and enqueues it. Safe for
+// concurrent use; the caller must not mix Append with AppendAt on the same
+// column (the engine assigns row ids at the table level via AppendAt so one
+// row gets the same id in every column).
 func (c *Column) Append(v int64) (uint32, error) {
-	if c.rows >= column.MaxRows {
-		return 0, column.ErrTooLarge
+	for {
+		r := c.rows.Load()
+		if r >= int64(column.MaxRows) {
+			return 0, column.ErrTooLarge
+		}
+		if c.rows.CompareAndSwap(r, r+1) {
+			g := uint32(r)
+			c.parts[int(g)%len(c.parts)].enqueueInsert(v, g)
+			return g, nil
+		}
 	}
-	g := uint32(c.rows)
-	if err := c.parts[c.rows%len(c.parts)].appendValue(v); err != nil {
-		return 0, err
-	}
-	c.rows++
-	return g, nil
 }
 
-// FirstLive returns the lowest global row id holding value v live, scanning
-// parts and picking the global minimum — the same "first live row" contract
-// the unsharded column had.
+// AppendAt enqueues v as global row g, where g was assigned by the caller
+// (the table's atomic row counter, so every column of one row agrees on the
+// id). Safe for concurrent use.
+func (c *Column) AppendAt(g uint32, v int64) {
+	for {
+		r := c.rows.Load()
+		if int64(g) < r || c.rows.CompareAndSwap(r, int64(g)+1) {
+			break
+		}
+	}
+	c.parts[int(g)%len(c.parts)].enqueueInsert(v, g)
+}
+
+// FirstLive returns the lowest global row id holding value v live — merged
+// and not tombstoned or pending-deleted, or still buffered in an ingest
+// queue — the same "first live row" contract the unsharded column had.
 func (c *Column) FirstLive(v int64) (row uint32, ok bool) {
 	best := uint32(0)
 	for _, p := range c.parts {
@@ -254,14 +332,18 @@ func (c *Column) FirstLive(v int64) (row uint32, ok bool) {
 	return best, ok
 }
 
-// DeleteRow tombstones global row g in its part, feeding the part's sorted
-// index and pending-delete buffer. It returns the deleted value.
+// DeleteRow deletes global row g in its part: a still-buffered insert gets
+// a delete paired with it in the queue (the pair nets to zero immediately
+// and drains as materialise-then-tombstone, keeping row order dense), a
+// merged row gets a buffered delete (applied as a tombstone at the next
+// merge). It returns the deleted value.
 func (c *Column) DeleteRow(g uint32) int64 {
 	n := len(c.parts)
 	return c.parts[int(g)%n].deleteLocal(int(g) / n)
 }
 
-// Live returns the number of live (non-deleted) rows.
+// Live returns the number of live (non-deleted) rows, counting buffered
+// inserts and subtracting buffered deletes.
 func (c *Column) Live() int {
 	live := 0
 	for _, p := range c.parts {
@@ -270,22 +352,45 @@ func (c *Column) Live() int {
 	return live
 }
 
+// MergePending fully drains every part's ingest queue into its structures
+// and returns the operations applied. Quiesce helper for tests, validation
+// and checkpoints; concurrent writers may refill the queues immediately.
+func (c *Column) MergePending() int {
+	total := 0
+	for _, p := range c.parts {
+		for {
+			n := p.MergeStep(0)
+			total += n
+			if n == 0 {
+				break
+			}
+		}
+	}
+	return total
+}
+
 // Part is one shard of a column: a contiguous stripe of rows with its own
-// storage, cracker index, sorted index, pending updates and latch. It
-// implements the holistic tuner's Column interface (internal/core), so each
-// part is an independent action-queue shard for the idle pool.
+// storage, cracker index, sorted index, ingest queue and latch. It
+// implements the holistic tuner's Column interface (internal/core) — and its
+// Merger extension — so each part is an independent action-queue shard for
+// the idle pool, offering both crack and merge actions.
 type Part struct {
 	name   string
 	id     int
 	stride int
 	cfg    *Config
 
+	// ingest buffers inserts and deletes behind its own leaf mutex; writers
+	// never take mu. epoch is the merge sequence lock: odd while MergeStep
+	// is moving rows from the queue into the structures (see package doc).
+	ingest updates.Queue
+	epoch  atomic.Uint64
+
 	mu       sync.RWMutex
 	col      *column.Column
 	crack    *cracker.Index
 	selector *stochastic.Selector // non-nil iff crack != nil and variant != Plain
 	sorted   *sortindex.Index
-	pending  updates.Pending
 	deleted  []bool // tombstones by local position
 	nDeleted int
 }
@@ -311,21 +416,29 @@ func (p *Part) globalRow(local int) uint32 {
 	return uint32(local*p.stride + p.id)
 }
 
-// Len returns the part's total local rows (including tombstoned).
+// Len returns the part's total local rows (including tombstoned and
+// buffered inserts).
 func (p *Part) Len() int {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.col.Len()
+	merged := p.col.Len()
+	p.mu.RUnlock()
+	ins, _ := p.ingest.Counts()
+	return merged + ins
 }
 
-// Live returns the part's live rows.
+// Live returns the part's live rows: merged minus tombstones, plus buffered
+// inserts, minus buffered deletes.
 func (p *Part) Live() int {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.col.Len() - p.nDeleted
+	base := p.col.Len() - p.nDeleted
+	p.mu.RUnlock()
+	ins, del := p.ingest.Counts()
+	return base + ins - del
 }
 
-// MinMax returns the part's value bounds (ok=false when empty).
+// MinMax returns the merged rows' value bounds (ok=false when empty).
+// Buffered inserts are not consulted; callers use this for registration-
+// time domain bounds, not exact statistics.
 func (p *Part) MinMax() (lo, hi int64, ok bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -354,8 +467,11 @@ func (p *Part) crackIndexLocked() *cracker.Index {
 	return p.crack
 }
 
-// liveSnapshotLocked copies the live rows (skipping tombstones) paired with
-// their global row ids.
+// liveSnapshotLocked copies the merged, non-tombstoned rows paired with
+// their global row ids. Rows with a buffered (not yet applied) delete ARE
+// included: reads subtract them through the queue's net CountSum until the
+// merge tombstones them, keeping every structure consistent with the same
+// merged-state boundary.
 func (p *Part) liveSnapshotLocked() ([]int64, []uint32) {
 	n := p.col.Len() - p.nDeleted
 	vals := make([]int64, 0, n)
@@ -369,7 +485,7 @@ func (p *Part) liveSnapshotLocked() ([]int64, []uint32) {
 	return vals, rows
 }
 
-// BuildSorted (re)builds the part's full sorted index from live rows.
+// BuildSorted (re)builds the part's full sorted index from merged live rows.
 func (p *Part) BuildSorted() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -399,12 +515,38 @@ func (p *Part) HasSorted() bool {
 	return p.sorted != nil
 }
 
-// ScanCountSum answers [lo, hi) with a full scan of the part under the
-// shared latch, honouring tombstones.
-func (p *Part) ScanCountSum(lo, hi int64) (int, int64) {
+// readConsistent combines a merged-state read with the ingest queue's net
+// contribution on [lo, hi) under the merge-epoch sequence lock (see the
+// package doc's "Snapshot reads"). merged is evaluated with the shared
+// latch held and must not acquire latches itself.
+func (p *Part) readConsistent(lo, hi int64, merged func() (int, int64)) (int, int64) {
+	for try := 0; try < seqlockRetries; try++ {
+		p.mu.RLock()
+		// The epoch is always even here: MergeStep only holds odd epochs
+		// inside the exclusive latch, which RLock excludes.
+		e := p.epoch.Load()
+		c, s := merged()
+		p.mu.RUnlock()
+		dc, ds := p.ingest.CountSum(lo, hi)
+		if p.epoch.Load() == e {
+			return c + dc, s + ds
+		}
+		// A merge moved rows between the two reads; retry.
+	}
+	// Merges keep interleaving; hold the shared latch across both reads —
+	// a merge needs the exclusive latch, so the pair is consistent.
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return p.scanLocked(lo, hi)
+	c, s := merged()
+	dc, ds := p.ingest.CountSum(lo, hi)
+	return c + dc, s + ds
+}
+
+// ScanCountSum answers [lo, hi) with a full scan of the merged rows plus
+// the queue's net contribution — a snapshot-consistent read (see package
+// doc).
+func (p *Part) ScanCountSum(lo, hi int64) (int, int64) {
+	return p.readConsistent(lo, hi, func() (int, int64) { return p.scanLocked(lo, hi) })
 }
 
 func (p *Part) scanLocked(lo, hi int64) (int, int64) {
@@ -424,100 +566,167 @@ func (p *Part) scanLocked(lo, hi int64) (int, int64) {
 	return count, sum
 }
 
-// SortedCountSum answers [lo, hi) from the part's sorted index, falling back
-// to a scan when no index exists. Shared latch; pure read.
+// SortedCountSum answers [lo, hi) from the part's sorted index (falling
+// back to a scan when no index exists) plus the queue's net contribution.
 func (p *Part) SortedCountSum(lo, hi int64) (int, int64) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.sorted != nil {
-		from, to := p.sorted.Range(lo, hi)
-		return p.sorted.CountSum(from, to)
-	}
-	return p.scanLocked(lo, hi)
+	return p.readConsistent(lo, hi, func() (int, int64) {
+		if p.sorted != nil {
+			from, to := p.sorted.Range(lo, hi)
+			return p.sorted.CountSum(from, to)
+		}
+		return p.scanLocked(lo, hi)
+	})
 }
 
 // CrackedSelect is the adaptive select operator on one part. The common case
-// — cracked copy materialised, no pending updates, plain cracking — runs
-// under the shared latch with piece-level latching inside the cracker, so
-// concurrent selects (and fan-out siblings on other parts) proceed in
-// parallel. Structural work falls back to the exclusive latch.
+// — cracked copy materialised, plain cracking — runs under the shared latch
+// with piece-level latching inside the cracker, combines the cracked result
+// with the queue's net contribution, and validates the pair with the merge
+// epoch. Structural work (materialisation, stochastic variants) falls back
+// to the exclusive latch, under which the queue cannot be drained and the
+// combined read is trivially consistent.
 func (p *Part) CrackedSelect(lo, hi int64) (int, int64) {
-	p.mu.RLock()
-	if ix := p.crack; ix != nil && p.selector == nil && p.pending.Empty() {
+	for try := 0; try < seqlockRetries; try++ {
+		p.mu.RLock()
+		ix := p.crack
+		if ix == nil || p.selector != nil {
+			p.mu.RUnlock()
+			break
+		}
+		e := p.epoch.Load()
 		from, to := ix.CrackRangeConcurrent(lo, hi)
 		count, sum := ix.CountSumConcurrent(from, to)
 		p.mu.RUnlock()
-		return count, sum
+		dc, ds := p.ingest.CountSum(lo, hi)
+		if p.epoch.Load() == e {
+			return count + dc, sum + ds
+		}
 	}
-	p.mu.RUnlock()
-	// State may have changed between the latches; the exclusive path
-	// re-checks everything.
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	ix := p.crackIndexLocked()
-	if !p.pending.Empty() {
-		p.pending.MergeRange(ix, lo, hi)
-	}
 	var from, to int
 	if p.selector != nil {
 		from, to = p.selector.Select(lo, hi)
 	} else {
 		from, to = ix.CrackRange(lo, hi)
 	}
-	return ix.CountSum(from, to)
+	count, sum := ix.CountSum(from, to)
+	dc, ds := p.ingest.CountSum(lo, hi)
+	return count + dc, sum + ds
 }
 
-// appendValue adds one value at the next local position, maintaining
-// whatever index structures exist. The caller serialises appends column-wide.
-func (p *Part) appendValue(v int64) error {
+// enqueueInsert buffers one insert without touching the part latch. The
+// writer that pushes the queue past the configured cap pays an inline merge
+// of (up to) the whole backlog — batched, amortised maintenance.
+func (p *Part) enqueueInsert(v int64, g uint32) {
+	qlen := p.ingest.Insert(v, g)
+	if cap := p.cfg.ingestCap(); qlen >= cap && qlen%cap == 0 {
+		p.MergeStep(0)
+	}
+}
+
+// MergeStep drains up to max buffered operations (0 = all) into the part's
+// structures under the exclusive latch, bracketed by the merge epoch. It
+// returns the operations applied. This is the tuner's merge action and the
+// writer's inline cap merge; both are safe to race.
+func (p *Part) MergeStep(max int) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	local, err := p.col.Append(v)
-	if err != nil {
-		return err
-	}
-	g := p.globalRow(int(local))
-	p.deleted = append(p.deleted, false)
-	if p.sorted != nil {
-		p.sorted.Insert(v, g)
-	}
-	if p.crack != nil {
-		p.pending.Insert(v, g)
-	}
-	return nil
+	return p.mergeLocked(max)
 }
 
-// firstLive returns the lowest global row id in this part holding value v
-// live.
-func (p *Part) firstLive(v int64) (uint32, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	for i, val := range p.col.Values() {
-		if val == v && !p.deleted[i] {
-			return p.globalRow(i), true
+func (p *Part) mergeLocked(max int) int {
+	ins, del := p.ingest.Drain(p.globalRow(p.col.Len()), p.stride, max)
+	if len(ins) == 0 && len(del) == 0 {
+		return 0
+	}
+	p.epoch.Add(1) // odd: rows are moving between queue and structures
+	for _, e := range del {
+		local := int(e.Row) / p.stride
+		if local >= p.col.Len() || p.deleted[local] {
+			// Defensive: Drain only releases deletes for merged rows, and the
+			// queue dedups deletes per row, so neither case should occur.
+			continue
+		}
+		p.deleted[local] = true
+		p.nDeleted++
+		if p.sorted != nil {
+			p.sorted.DeleteRow(e.Val, e.Row)
+		}
+		if p.crack != nil {
+			p.crack.RippleDeleteRow(e.Val, e.Row)
 		}
 	}
-	return 0, false
+	for _, e := range ins {
+		// The append cannot fail: row ids were bounds checked when assigned,
+		// and Drain guarantees dense order.
+		if _, err := p.col.Append(e.Val); err != nil {
+			break
+		}
+		p.deleted = append(p.deleted, false)
+		if p.sorted != nil {
+			p.sorted.Insert(e.Val, e.Row)
+		}
+		if p.crack != nil {
+			p.crack.RippleInsert(e.Val, e.Row)
+		}
+	}
+	p.epoch.Add(1) // even: structures and queue agree again
+	return len(ins) + len(del)
 }
 
-// deleteLocal tombstones the row at local position, feeding index
-// structures, and returns its value.
+// PendingOps returns the part's buffered operation count — the tuner's
+// Merger extension uses it to rank the merge action.
+func (p *Part) PendingOps() int { return p.ingest.Len() }
+
+// firstLive returns the lowest global row id in this part holding value v
+// live: merged rows that are neither tombstoned nor pending-deleted, and
+// buffered inserts.
+func (p *Part) firstLive(v int64) (uint32, bool) {
+	var best uint32
+	found := false
+	p.mu.RLock()
+	for i, val := range p.col.Values() {
+		if val == v && !p.deleted[i] {
+			g := p.globalRow(i)
+			if !p.ingest.HasDelete(v, g) {
+				best, found = g, true
+				break
+			}
+		}
+	}
+	p.mu.RUnlock()
+	if r, ok := p.ingest.MinInsertRowFor(v); ok && (!found || r < best) {
+		best, found = r, true
+	}
+	return best, found
+}
+
+// deleteLocal deletes the row at local position: a still-buffered insert is
+// annihilated (paired with a queued delete), a merged live row gets a
+// buffered delete. It returns the row's value (0 if the row does not exist
+// or is already dead).
 func (p *Part) deleteLocal(local int) int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	v := p.col.Get(local)
-	if p.deleted[local] {
+	g := p.globalRow(local)
+	if v, ok := p.ingest.AnnihilateRow(g); ok {
 		return v
 	}
-	p.deleted[local] = true
-	p.nDeleted++
-	g := p.globalRow(local)
-	if p.sorted != nil {
-		p.sorted.DeleteRow(v, g)
+	p.mu.RLock()
+	if local >= p.col.Len() {
+		// Neither buffered nor merged: the row id is still in flight between
+		// assignment and enqueue (the table's lock ordering prevents deletes
+		// from ever racing it, so this is purely defensive).
+		p.mu.RUnlock()
+		return 0
 	}
-	if p.crack != nil {
-		p.pending.Delete(v, g)
+	v := p.col.Get(local)
+	dead := p.deleted[local]
+	p.mu.RUnlock()
+	if dead {
+		return v
 	}
+	p.ingest.Delete(v, g) // dedups a delete already buffered for this row
 	return v
 }
 
@@ -538,9 +747,7 @@ func (p *Part) PieceStats() (pieces, n int) {
 
 // PendingCounts returns the part's buffered (inserts, deletes).
 func (p *Part) PendingCounts() (ins, del int) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.pending.Counts()
+	return p.ingest.Counts()
 }
 
 // Consolidate prunes redundant crack boundaries (see cracker.Consolidate).

@@ -35,13 +35,16 @@ func (k Kind) String() string {
 // server serialises onto the wire, and what String renders for humans.
 type Result struct {
 	Kind Kind
-	// Agg, Count and Sum are set for selects.
+	// Agg, Count and Sum are set for selects. Count doubles as the affected
+	// row count for writes: rows appended by an insert (batched inserts
+	// report the whole batch), rows removed by a delete.
 	Agg   Aggregate
 	Count int
 	Sum   int64
-	// Row is the id of the row an insert appended.
+	// Row is the id of the first row an insert appended (batch rows get
+	// consecutive ids from it).
 	Row uint32
-	// Matched reports whether a delete found a row.
+	// Matched reports whether a delete found at least one row.
 	Matched bool
 	// Elapsed is the statement's execution time as seen by the caller.
 	Elapsed time.Duration
@@ -61,10 +64,16 @@ func (r *Result) String() string {
 			return fmt.Sprintf("count=%d sum=%d (%v)", r.Count, r.Sum, r.Elapsed)
 		}
 	case KindInsert:
+		if r.Count > 1 {
+			return fmt.Sprintf("inserted %d rows from row %d", r.Count, r.Row)
+		}
 		return fmt.Sprintf("inserted row %d", r.Row)
 	case KindDelete:
 		if !r.Matched {
 			return "no row matched"
+		}
+		if r.Count > 1 {
+			return fmt.Sprintf("deleted %d rows", r.Count)
 		}
 		return "deleted 1 row"
 	default:
@@ -98,22 +107,30 @@ func Run(e *engine.Engine, input string) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		row, err := tab.InsertRow(s.Values...)
+		rows := s.Rows
+		if len(rows) == 0 { // hand-built statement using the legacy field
+			rows = [][]int64{s.Values}
+		}
+		row, err := tab.InsertRows(rows)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Kind: KindInsert, Row: row, Elapsed: time.Since(start)}, nil
+		return &Result{Kind: KindInsert, Row: row, Count: len(rows), Elapsed: time.Since(start)}, nil
 	case *DeleteStmt:
 		start := time.Now()
 		tab, err := e.Table(s.Table)
 		if err != nil {
 			return nil, err
 		}
-		ok, err := tab.DeleteWhere(s.Column, s.Value)
+		vals := s.Values
+		if len(vals) == 0 { // hand-built statement using the legacy field
+			vals = []int64{s.Value}
+		}
+		n, err := tab.DeleteWhereIn(s.Column, vals)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Kind: KindDelete, Matched: ok, Elapsed: time.Since(start)}, nil
+		return &Result{Kind: KindDelete, Matched: n > 0, Count: n, Elapsed: time.Since(start)}, nil
 	default:
 		return nil, fmt.Errorf("sqlmini: unhandled statement %T", stmt)
 	}

@@ -29,19 +29,26 @@ type SelectStmt struct {
 
 func (*SelectStmt) stmt() {}
 
-// InsertStmt appends one row.
+// InsertStmt appends one or more rows: INSERT INTO t VALUES (..)[, (..)]*.
+// Rows holds every value group; Values aliases the first group for callers
+// of the original single-row form.
 type InsertStmt struct {
 	Table  string
 	Values []int64
+	Rows   [][]int64
 }
 
 func (*InsertStmt) stmt() {}
 
-// DeleteStmt deletes the first row whose column equals Value.
+// DeleteStmt deletes, for each value in Values, the first live row whose
+// column equals it: DELETE FROM t WHERE col = v, or the batched
+// DELETE FROM t WHERE col IN (v1, v2, ...). Value aliases Values[0] for
+// callers of the original equality form.
 type DeleteStmt struct {
 	Table  string
 	Column string
 	Value  int64
+	Values []int64
 }
 
 func (*DeleteStmt) stmt() {}
@@ -273,26 +280,48 @@ func (p *parser) parseInsert() (Stmt, error) {
 	if err := p.expectIdent("values"); err != nil {
 		return nil, err
 	}
+	ins := &InsertStmt{Table: tab}
+	for {
+		row, err := p.parseValueGroup()
+		if err != nil {
+			return nil, err
+		}
+		if len(ins.Rows) > 0 && len(row) != len(ins.Rows[0]) {
+			return nil, fmt.Errorf("sqlmini: insert group %d has %d values, first has %d",
+				len(ins.Rows)+1, len(row), len(ins.Rows[0]))
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	ins.Values = ins.Rows[0]
+	return ins, nil
+}
+
+// parseValueGroup parses one parenthesised comma-separated number list.
+func (p *parser) parseValueGroup() ([]int64, error) {
 	if err := p.expectPunct("("); err != nil {
 		return nil, err
 	}
-	ins := &InsertStmt{Table: tab}
+	var vals []int64
 	for {
 		v, err := p.number()
 		if err != nil {
 			return nil, err
 		}
-		ins.Values = append(ins.Values, v)
+		vals = append(vals, v)
 		t := p.next()
 		if t.kind == tokPunct && t.text == "," {
 			continue
 		}
 		if t.kind == tokPunct && t.text == ")" {
-			break
+			return vals, nil
 		}
 		return nil, fmt.Errorf("sqlmini: expected ',' or ')' at position %d, got %q", t.pos, t.raw)
 	}
-	return ins, nil
 }
 
 func (p *parser) parseDelete() (Stmt, error) {
@@ -312,14 +341,21 @@ func (p *parser) parseDelete() (Stmt, error) {
 		return nil, err
 	}
 	t := p.next()
+	if t.kind == tokIdent && t.text == "in" {
+		vals, err := p.parseValueGroup()
+		if err != nil {
+			return nil, err
+		}
+		return &DeleteStmt{Table: tab, Column: col, Value: vals[0], Values: vals}, nil
+	}
 	if t.kind != tokOp || t.text != "=" {
-		return nil, fmt.Errorf("sqlmini: DELETE supports only equality, got %q", t.raw)
+		return nil, fmt.Errorf("sqlmini: DELETE supports only equality or IN, got %q", t.raw)
 	}
 	v, err := p.number()
 	if err != nil {
 		return nil, err
 	}
-	return &DeleteStmt{Table: tab, Column: col, Value: v}, nil
+	return &DeleteStmt{Table: tab, Column: col, Value: v, Values: []int64{v}}, nil
 }
 
 func maxI(a, b int64) int64 {

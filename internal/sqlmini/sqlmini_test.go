@@ -85,6 +85,41 @@ func TestParseInsertDelete(t *testing.T) {
 	}
 }
 
+func TestParseBatchedInsert(t *testing.T) {
+	s, err := Parse("INSERT INTO R VALUES (1, 2), (3, 4), (5, 6)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := s.(*InsertStmt)
+	if len(ins.Rows) != 3 || ins.Rows[2][1] != 6 {
+		t.Fatalf("%+v", ins)
+	}
+	if len(ins.Values) != 2 || ins.Values[0] != 1 {
+		t.Fatalf("legacy Values alias broken: %+v", ins)
+	}
+	// Mismatched group widths are rejected.
+	if _, err := Parse("insert into R values (1, 2), (3)"); err == nil {
+		t.Fatal("accepted ragged insert groups")
+	}
+}
+
+func TestParseDeleteIn(t *testing.T) {
+	s, err := Parse("DELETE FROM R WHERE A IN (5, 7, 9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := s.(*DeleteStmt)
+	if del.Column != "A" || len(del.Values) != 3 || del.Values[2] != 9 {
+		t.Fatalf("%+v", del)
+	}
+	if del.Value != 5 {
+		t.Fatalf("legacy Value alias broken: %+v", del)
+	}
+	if _, err := Parse("delete from R where A in ()"); err == nil {
+		t.Fatal("accepted empty IN list")
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",

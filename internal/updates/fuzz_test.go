@@ -1,0 +1,227 @@
+package updates
+
+import (
+	"testing"
+)
+
+// checkMaps asserts the position-map invariant: every buffered entry is
+// findable through its map at its exact slice index, and the maps hold
+// nothing else. A desynchronised map makes later annihilations miss (leaking
+// delete entries) or, worse, swap-remove the wrong entry.
+func checkMaps(t *testing.T, p *Pending) {
+	t.Helper()
+	if len(p.insAt) != len(p.ins) {
+		t.Fatalf("insAt has %d entries for %d inserts", len(p.insAt), len(p.ins))
+	}
+	if len(p.rowAt) != len(p.ins) {
+		t.Fatalf("rowAt has %d entries for %d inserts", len(p.rowAt), len(p.ins))
+	}
+	for i, e := range p.ins {
+		if j, ok := p.insAt[e]; !ok || j != i {
+			t.Fatalf("insAt[%v] = %d,%v want %d", e, j, ok, i)
+		}
+		if j, ok := p.rowAt[e.Row]; !ok || j != i {
+			t.Fatalf("rowAt[%d] = %d,%v want %d", e.Row, j, ok, i)
+		}
+	}
+	if len(p.delAt) != len(p.del) {
+		t.Fatalf("delAt has %d entries for %d deletes", len(p.delAt), len(p.del))
+	}
+	for i, e := range p.del {
+		if j, ok := p.delAt[e]; !ok || j != i {
+			t.Fatalf("delAt[%v] = %d,%v want %d", e, j, ok, i)
+		}
+	}
+}
+
+// FuzzPendingMergeDelete drives random interleavings of Insert, Delete,
+// AnnihilateRow and Drain (the concurrent write path's primitives) against
+// a map-based oracle that applies every update immediately. After every
+// operation the position-map invariant must hold, annihilation semantics
+// must be exact (deleting a still-buffered insert pairs a delete with it —
+// the pair nets to zero and drains as materialise-then-tombstone, keeping
+// row order dense), and the combined view — dense merged storage plus the
+// buffer's net CountSum — must equal the oracle on every probed range.
+//
+// Row-id gaps are part of the model: a fraction of row ids are "stalled"
+// (assigned but not yet enqueued, like a writer between row reservation and
+// queue append), so Drain must stop at the gap and resume once the stalled
+// insert lands.
+func FuzzPendingMergeDelete(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{10, 200, 30, 41, 52, 63, 74, 85, 96, 107, 118, 129, 140})
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 1, 1, 1, 2, 2, 2, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Pending
+
+		// Merged state: dense storage with stride 1 (row == local index)
+		// plus tombstones — the shape shard.Part maintains.
+		var col []int64
+		dead := map[uint32]bool{}
+
+		// Oracle: row -> value for every live row, updated immediately.
+		ref := map[uint32]int64{}
+
+		nextRow := uint32(0)
+		var stalled []Entry // row ids reserved but not yet enqueued
+
+		countSumMerged := func(lo, hi int64) (int, int64) {
+			c, s := 0, int64(0)
+			for r, v := range col {
+				if !dead[uint32(r)] && v >= lo && v < hi {
+					c++
+					s += v
+				}
+			}
+			return c, s
+		}
+		countSumRef := func(lo, hi int64) (int, int64) {
+			c, s := 0, int64(0)
+			for _, v := range ref {
+				if v >= lo && v < hi {
+					c++
+					s += v
+				}
+			}
+			return c, s
+		}
+		check := func(lo, hi int64) {
+			mc, ms := countSumMerged(lo, hi)
+			pc, ps := p.CountSumNet(lo, hi)
+			wc, ws := countSumRef(lo, hi)
+			if mc+pc != wc || ms+ps != ws {
+				t.Fatalf("range [%d,%d): merged %d/%d + pending %d/%d != oracle %d/%d",
+					lo, hi, mc, ms, pc, ps, wc, ws)
+			}
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], int64(data[i+1])
+			switch op % 6 {
+			case 0: // insert
+				v := arg % 64
+				p.Insert(v, nextRow)
+				ref[nextRow] = v
+				nextRow++
+			case 1: // stalled insert: reserve the row id, enqueue later. The
+				// writer has not returned yet, so the oracle must not count
+				// it until it lands — exactly as a reader cannot see it.
+				v := arg % 64
+				stalled = append(stalled, Entry{v, nextRow})
+				nextRow++
+			case 2: // land the oldest stalled insert
+				if len(stalled) > 0 {
+					e := stalled[0]
+					stalled = stalled[1:]
+					p.Insert(e.Val, e.Row)
+					ref[e.Row] = e.Val
+				}
+			case 3: // delete a live row (buffered or merged)
+				if len(ref) == 0 {
+					continue
+				}
+				// Deterministic pick: lowest live row >= arg mod nextRow,
+				// wrapping to the lowest live row.
+				want := uint32(arg) % (nextRow + 1)
+				pick, found := uint32(0), false
+				for r := range ref {
+					if r >= want && (!found || r < pick) {
+						pick, found = r, true
+					}
+				}
+				if !found {
+					for r := range ref {
+						if !found || r < pick {
+							pick, found = r, true
+						}
+					}
+				}
+				v := ref[pick]
+				insBefore, delBefore := p.Counts()
+				if _, ok := p.ValueAt(pick); ok {
+					// Still buffered: kill it the way shard.deleteLocal does.
+					av, aok := p.AnnihilateRow(pick)
+					if !aok || av != v {
+						t.Fatalf("AnnihilateRow(%d) = %d,%v want %d,true", pick, av, aok, v)
+					}
+					insAfter, delAfter := p.Counts()
+					if insAfter != insBefore || delAfter != delBefore+1 {
+						// Pairing: the insert stays, one delete joins it.
+						t.Fatalf("annihilation of (%d,%d): counts %d/%d -> %d/%d",
+							v, pick, insBefore, delBefore, insAfter, delAfter)
+					}
+				} else {
+					if !p.Delete(v, pick) {
+						t.Fatalf("delete of live row %d (val %d) reported no effect", pick, v)
+					}
+					if _, delAfter := p.Counts(); delAfter != delBefore+1 {
+						t.Fatalf("buffered delete of (%d,%d): del count %d -> %d",
+							v, pick, delBefore, delAfter)
+					}
+				}
+				delete(ref, pick)
+			case 4: // drain a budget of operations into the merged state
+				budget := int(arg%16) + 1
+				preLen := len(col)
+				ins, del := p.Drain(uint32(len(col)), 1, budget)
+				if len(ins)+len(del) > budget {
+					t.Fatalf("Drain(%d) returned %d ops", budget, len(ins)+len(del))
+				}
+				for _, e := range ins {
+					if int(e.Row) != len(col) {
+						t.Fatalf("drain broke contiguity: row %d at col len %d", e.Row, len(col))
+					}
+					col = append(col, e.Val)
+				}
+				for _, e := range del {
+					if int(e.Row) >= preLen {
+						t.Fatalf("drained delete for unmerged row %d (merged %d)", e.Row, preLen)
+					}
+					if dead[e.Row] {
+						t.Fatalf("drained delete for already-dead row %d", e.Row)
+					}
+					if col[e.Row] != e.Val {
+						t.Fatalf("drained delete value mismatch at row %d: %d != %d",
+							e.Row, col[e.Row], e.Val)
+					}
+					dead[e.Row] = true
+				}
+			case 5: // probe a range
+				lo := arg % 64
+				check(lo, lo+1+arg%32)
+			}
+			checkMaps(t, &p)
+		}
+
+		// Land every stalled insert, drain to empty, final full check. A
+		// dead pair drains over two steps (materialise, then tombstone), so
+		// the drain loops until it stops making progress — exactly what
+		// shard.Column.MergePending does.
+		for _, e := range stalled {
+			p.Insert(e.Val, e.Row)
+			ref[e.Row] = e.Val
+		}
+		checkMaps(t, &p)
+		for {
+			ins, del := p.Drain(uint32(len(col)), 1, 0)
+			if len(ins)+len(del) == 0 {
+				break
+			}
+			for _, e := range ins {
+				if int(e.Row) != len(col) {
+					t.Fatalf("final drain broke contiguity: row %d at col len %d", e.Row, len(col))
+				}
+				col = append(col, e.Val)
+			}
+			for _, e := range del {
+				dead[e.Row] = true
+			}
+		}
+		if !p.Empty() {
+			i, d := p.Counts()
+			t.Fatalf("buffer not empty after full drain: %d/%d", i, d)
+		}
+		checkMaps(t, &p)
+		check(0, 64)
+	})
+}

@@ -1,60 +1,183 @@
 // Package updates implements update support for cracked columns following
 // the "merge gradually" design of Updating a Cracked Database (Idreos,
 // Kersten, Manegold, SIGMOD 2007). Inserts and deletes land in per-column
-// pending buffers; a range query merges — via the cracker's ripple moves —
-// only the pending tuples that fall inside the queried value range, so
-// update cost is deferred and paid exactly where the workload looks.
+// pending buffers; merges ripple — via the cracker's ripple moves — pending
+// tuples into the indexed structures, so update cost is deferred and paid
+// during idle time (or amortised over batches) instead of inside the
+// writer's critical path.
+//
+// Two layers live here:
+//
+//   - Pending is the single-threaded buffer with O(1) insert/delete
+//     annihilation via position maps. It is not safe for concurrent use.
+//   - Queue wraps a Pending in a private mutex, giving writers a
+//     finely-latched ingest path that never touches the column's RW latch,
+//     plus the snapshot-read primitives (net CountSum over the buffer) and
+//     the contiguous Drain the merge step consumes.
 package updates
 
 import (
+	"sort"
+	"sync"
+
 	"holistic/internal/cracker"
 )
 
-type entry struct {
-	val int64
-	row uint32
+// Entry is one buffered update: value Val destined for (insert) or removed
+// from (delete) global base row Row. Row ids are unique per table, so at
+// most one buffered insert ever exists per row.
+type Entry struct {
+	Val int64
+	Row uint32
 }
 
-// Pending buffers not-yet-merged inserts and deletes for one cracked column.
-// It is not safe for concurrent use; the engine guards it with the column
-// latch.
+// Pending buffers not-yet-merged inserts and deletes for one cracked column
+// shard. It is not safe for concurrent use; wrap it in a Queue (or guard it
+// with the column latch) for concurrent writers.
 type Pending struct {
-	ins []entry
-	del []entry
+	ins []Entry
+	del []Entry
 	// insAt indexes the insert buffer by (val, row) so Delete annihilates in
 	// O(1) instead of scanning — a burst of K inserts + K deletes used to be
 	// O(K²). Allocated lazily on first insert; rebuilt after merge compacts
 	// the buffer.
-	insAt map[entry]int
+	insAt map[Entry]int
+	// rowAt indexes the insert buffer by row id (unique per row), so
+	// annihilation and value lookups by row are O(1) too.
+	rowAt map[uint32]int
+	// delAt gives O(1) membership for buffered deletes: a pending-delete row
+	// is logically dead and must be hidden from reads, and a duplicate
+	// delete of the same (val, row) must not be buffered twice.
+	delAt map[Entry]int
 }
 
 // Insert buffers an insert of value v for base row `row`.
 func (p *Pending) Insert(v int64, row uint32) {
-	e := entry{v, row}
+	e := Entry{v, row}
 	if p.insAt == nil {
-		p.insAt = make(map[entry]int)
+		p.insAt = make(map[Entry]int)
+		p.rowAt = make(map[uint32]int)
 	}
 	p.ins = append(p.ins, e)
 	p.insAt[e] = len(p.ins) - 1
+	p.rowAt[row] = len(p.ins) - 1
 }
 
 // Delete buffers a delete of (v, row). If the same (value, row) pair is
 // still sitting in the insert buffer the two annihilate immediately and
-// nothing is buffered.
-func (p *Pending) Delete(v int64, row uint32) {
-	e := entry{v, row}
+// nothing is buffered — legacy semantics for the query-driven MergeRange
+// path, whose value-ordered merges never need row contiguity. The
+// concurrent Drain path never routes buffered-row deletes here: it uses
+// AnnihilateRow, which preserves the insert for dense row-ordered
+// application. It reports whether the delete took logical effect: false
+// means the identical delete was already buffered (a no-op).
+func (p *Pending) Delete(v int64, row uint32) bool {
+	e := Entry{v, row}
 	if i, ok := p.insAt[e]; ok {
-		last := len(p.ins) - 1
-		moved := p.ins[last]
-		p.ins[i] = moved
-		p.ins = p.ins[:last]
-		delete(p.insAt, e)
-		if i != last {
-			p.insAt[moved] = i
-		}
-		return
+		p.removeInsAt(i)
+		return true
+	}
+	if _, ok := p.delAt[e]; ok {
+		return false
+	}
+	if p.delAt == nil {
+		p.delAt = make(map[Entry]int)
 	}
 	p.del = append(p.del, e)
+	p.delAt[e] = len(p.del) - 1
+	return true
+}
+
+// removeInsAt swap-removes insert i, keeping all three maps aligned.
+func (p *Pending) removeInsAt(i int) {
+	e := p.ins[i]
+	last := len(p.ins) - 1
+	moved := p.ins[last]
+	p.ins[i] = moved
+	p.ins = p.ins[:last]
+	delete(p.insAt, e)
+	delete(p.rowAt, e.Row)
+	if i != last {
+		p.insAt[moved] = i
+		p.rowAt[moved.Row] = i
+	}
+}
+
+// AnnihilateRow logically deletes the buffered insert destined for `row`, if
+// any, returning its value. The insert entry itself stays buffered — dense
+// part storage can only grow in contiguous row order, so removing it would
+// leave a permanent hole no later insert could drain past — and a paired
+// delete is buffered alongside it. The pair nets to zero in every read and
+// count; the merge materialises the row and tombstones it on the following
+// step. The report is true only when this call killed a live buffered insert.
+func (p *Pending) AnnihilateRow(row uint32) (int64, bool) {
+	i, ok := p.rowAt[row]
+	if !ok {
+		return 0, false
+	}
+	e := p.ins[i]
+	if _, dead := p.delAt[e]; dead {
+		return 0, false
+	}
+	if p.delAt == nil {
+		p.delAt = make(map[Entry]int)
+	}
+	p.del = append(p.del, e)
+	p.delAt[e] = len(p.del) - 1
+	return e.Val, true
+}
+
+// ValueAt returns the value of the buffered insert destined for `row`.
+func (p *Pending) ValueAt(row uint32) (int64, bool) {
+	i, ok := p.rowAt[row]
+	if !ok {
+		return 0, false
+	}
+	return p.ins[i].Val, true
+}
+
+// HasDelete reports whether a delete of (v, row) is buffered — i.e. whether
+// the merged row is logically dead already.
+func (p *Pending) HasDelete(v int64, row uint32) bool {
+	_, ok := p.delAt[Entry{v, row}]
+	return ok
+}
+
+// MinInsertRowFor returns the lowest buffered-insert row id holding value v
+// live — inserts already paired with a delete (AnnihilateRow) are dead and
+// skipped.
+func (p *Pending) MinInsertRowFor(v int64) (row uint32, ok bool) {
+	for _, e := range p.ins {
+		if e.Val != v {
+			continue
+		}
+		if _, dead := p.delAt[e]; dead {
+			continue
+		}
+		if !ok || e.Row < row {
+			row, ok = e.Row, true
+		}
+	}
+	return row, ok
+}
+
+// CountSumNet returns the buffer's net contribution to a range select over
+// [lo, hi): buffered inserts add, buffered deletes subtract (their rows are
+// in the merged structures and would otherwise be counted there).
+func (p *Pending) CountSumNet(lo, hi int64) (count int, sum int64) {
+	for _, e := range p.ins {
+		if e.Val >= lo && e.Val < hi {
+			count++
+			sum += e.Val
+		}
+	}
+	for _, e := range p.del {
+		if e.Val >= lo && e.Val < hi {
+			count--
+			sum -= e.Val
+		}
+	}
+	return count, sum
 }
 
 // Counts returns the number of buffered inserts and deletes.
@@ -63,10 +186,74 @@ func (p *Pending) Counts() (ins, del int) { return len(p.ins), len(p.del) }
 // Empty reports whether nothing is buffered.
 func (p *Pending) Empty() bool { return len(p.ins) == 0 && len(p.del) == 0 }
 
+// Drain removes and returns up to max buffered operations for the merge
+// step to apply: buffered deletes whose target row is already merged
+// (Row < next), plus the longest prefix of buffered inserts that is
+// contiguous in row order starting at row `next` and stepping by `stride` —
+// the only order in which the part's dense base storage can grow. Inserts
+// whose row ids leave a gap (a writer still in flight between row-id
+// assignment and enqueue) stay buffered for the next drain, as does a
+// delete paired with a still-buffered insert (AnnihilateRow): releasing it
+// early would force the merge to drop it against a row that does not exist
+// yet, resurrecting the row once its insert lands. Such a pair drains over
+// two steps — the insert materialises, then the delete tombstones it.
+// max <= 0 means no limit.
+func (p *Pending) Drain(next uint32, stride int, max int) (ins, del []Entry) {
+	if max <= 0 {
+		max = len(p.ins) + len(p.del)
+	}
+	// Applicable deletes drain first; application order does not matter for
+	// tombstoning. Compaction moves survivors, so their indices rebuild.
+	if len(p.del) > 0 {
+		kept := p.del[:0]
+		for _, e := range p.del {
+			if e.Row < next && len(del) < max {
+				del = append(del, e)
+				delete(p.delAt, e)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		p.del = kept
+		for i, e := range p.del {
+			p.delAt[e] = i
+		}
+	}
+	budget := max - len(del)
+	if budget == 0 || len(p.ins) == 0 {
+		return ins, del
+	}
+	// Sort the insert buffer by row, take the contiguous prefix, compact the
+	// remainder to the front and rebuild the position maps.
+	sort.Slice(p.ins, func(i, j int) bool { return p.ins[i].Row < p.ins[j].Row })
+	k := 0
+	for k < len(p.ins) && k < budget && p.ins[k].Row == next {
+		next += uint32(stride)
+		k++
+	}
+	if k > 0 {
+		ins = append(ins, p.ins[:k]...)
+		copy(p.ins, p.ins[k:])
+		p.ins = p.ins[:len(p.ins)-k]
+	}
+	clear(p.insAt)
+	clear(p.rowAt)
+	for i, e := range p.ins {
+		p.insAt[e] = i
+		p.rowAt[e.Row] = i
+	}
+	for _, e := range ins {
+		delete(p.insAt, e)
+		delete(p.rowAt, e.Row)
+	}
+	return ins, del
+}
+
 // MergeRange ripples every buffered update whose value lies in [lo, hi)
 // into the index, removing it from the buffer. It returns the number of
-// updates applied. Queries call it before reading the cracked region so the
-// region reflects all updates relevant to their predicate.
+// updates applied. This is the original query-driven partial merge of the
+// 2007 design; the concurrent write path merges via Drain instead (dense
+// base storage needs row-contiguous application).
 func (p *Pending) MergeRange(ix *cracker.Index, lo, hi int64) int {
 	if lo >= hi {
 		return 0
@@ -86,8 +273,8 @@ func (p *Pending) merge(ix *cracker.Index, in func(int64) bool) int {
 	// (annihilation removes the only other case).
 	keep := p.ins[:0]
 	for _, e := range p.ins {
-		if in(e.val) {
-			ix.RippleInsert(e.val, e.row)
+		if in(e.Val) {
+			ix.RippleInsert(e.Val, e.Row)
 			applied++
 		} else {
 			keep = append(keep, e)
@@ -97,19 +284,124 @@ func (p *Pending) merge(ix *cracker.Index, in func(int64) bool) int {
 	// Compaction moved survivors; reindex them for O(1) annihilation.
 	if len(p.insAt) > 0 {
 		clear(p.insAt)
+		clear(p.rowAt)
 	}
 	for i, e := range p.ins {
 		p.insAt[e] = i
+		p.rowAt[e.Row] = i
 	}
 	keepD := p.del[:0]
 	for _, e := range p.del {
-		if in(e.val) {
-			ix.RippleDeleteRow(e.val, e.row)
+		if in(e.Val) {
+			ix.RippleDeleteRow(e.Val, e.Row)
 			applied++
 		} else {
 			keepD = append(keepD, e)
 		}
 	}
 	p.del = keepD
+	if len(p.delAt) > 0 {
+		clear(p.delAt)
+	}
+	for i, e := range p.del {
+		if p.delAt == nil {
+			p.delAt = make(map[Entry]int)
+		}
+		p.delAt[e] = i
+	}
 	return applied
+}
+
+// Queue is the concurrent ingest buffer of one column shard: a Pending
+// behind its own mutex, so writers enqueue updates without ever taking the
+// shard's RW latch, readers fold the buffer's net contribution into
+// snapshot results, and the merge step drains batches. The mutex is leaf —
+// Queue methods never take any other lock — so it can be called with or
+// without the shard latch held, in either order.
+type Queue struct {
+	mu sync.Mutex
+	p  Pending
+}
+
+// Insert enqueues an insert and returns the queue's new total length
+// (buffered inserts + deletes) — the cap-trigger signal for inline merges.
+func (q *Queue) Insert(v int64, row uint32) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.p.Insert(v, row)
+	return len(q.p.ins) + len(q.p.del)
+}
+
+// Delete enqueues a delete of (v, row), annihilating a matching buffered
+// insert. It reports whether the delete took logical effect (false: the
+// identical delete was already buffered).
+func (q *Queue) Delete(v int64, row uint32) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.p.Delete(v, row)
+}
+
+// AnnihilateRow removes the buffered insert for `row`, returning its value.
+func (q *Queue) AnnihilateRow(row uint32) (int64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.p.AnnihilateRow(row)
+}
+
+// ValueAt returns the buffered-insert value destined for `row`, if any.
+func (q *Queue) ValueAt(row uint32) (int64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.p.ValueAt(row)
+}
+
+// HasDelete reports whether a delete of (v, row) is buffered.
+func (q *Queue) HasDelete(v int64, row uint32) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.p.HasDelete(v, row)
+}
+
+// MinInsertRowFor returns the lowest buffered-insert row holding value v.
+func (q *Queue) MinInsertRowFor(v int64) (uint32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.p.MinInsertRowFor(v)
+}
+
+// CountSum returns the buffer's net (count, sum) contribution on [lo, hi).
+func (q *Queue) CountSum(lo, hi int64) (int, int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.p.CountSumNet(lo, hi)
+}
+
+// Counts returns the buffered (inserts, deletes).
+func (q *Queue) Counts() (ins, del int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.p.Counts()
+}
+
+// Len returns the total buffered operations.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.p.ins) + len(q.p.del)
+}
+
+// Empty reports whether nothing is buffered.
+func (q *Queue) Empty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.p.Empty()
+}
+
+// Drain removes and returns up to max operations in mergeable order: all
+// deletes plus the row-contiguous insert prefix from `next` stepping
+// `stride`. See Pending.Drain.
+func (q *Queue) Drain(next uint32, stride int, max int) (ins, del []Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.p.Drain(next, stride, max)
 }
