@@ -14,6 +14,8 @@
 //	holisticbench -exp shard -smoke                # tiny CI-sized shard sweep
 //	holisticbench -exp writes                      # write-path bench -> BENCH_writes.json
 //	holisticbench -exp writes -smoke               # tiny CI-sized write-path bench
+//	holisticbench -exp kernel                      # kernel microbench -> BENCH_kernel.json
+//	holisticbench -exp kernel -smoke               # tiny CI-sized kernel microbench
 //
 // The paper's scale is -n 100000000 -queries 10000 (needs ~6 GB and
 // patience); defaults are laptop-sized and preserve the curves' shape.
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|table1|table2|net|shard|writes|all")
+		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|table1|table2|net|shard|writes|kernel|all")
 		n       = flag.Int("n", 1<<20, "rows per column")
 		queries = flag.Int("queries", 2000, "queries per run")
 		x       = flag.Int("x", 100, "refinement actions per idle window (fig3)")
@@ -52,8 +54,9 @@ func main() {
 		shards  = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep (shard)")
 		batches = flag.Int("batches", 40, "insert batches per client per burst (writes)")
 		batch   = flag.Int("batch", 8, "rows per insert statement (writes)")
-		out     = flag.String("out", "", "output JSON path (shard: BENCH_shard.json, writes: BENCH_writes.json)")
-		smoke   = flag.Bool("smoke", false, "CI smoke mode: shrink the shard/writes sweep to seconds")
+		out     = flag.String("out", "", "output JSON path (shard: BENCH_shard.json, writes: BENCH_writes.json, kernel: BENCH_kernel.json)")
+		iters   = flag.Int("iters", 0, "measured repetitions per kernel case (0 = suite default)")
+		smoke   = flag.Bool("smoke", false, "CI smoke mode: shrink the shard/writes/kernel sweep to seconds")
 		csvPath = flag.String("csv", "", "write cumulative series CSV to this file")
 		width   = flag.Int("plot-width", 72, "ASCII plot width")
 		height  = flag.Int("plot-height", 18, "ASCII plot height")
@@ -260,6 +263,58 @@ func main() {
 			return err
 		}
 		fmt.Printf("write benchmark written to %s\n", path)
+		return nil
+	})
+
+	// The kernel microbenchmark suite is likewise explicit-only: it writes
+	// BENCH_kernel.json, and before/after loop timings deserve a quiet
+	// machine.
+	runKernel := func(f func() error) {
+		if *exp != "kernel" {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "kernel: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	runKernel(func() error {
+		cfg := harness.KernelBenchConfig{
+			N: 1 << 21, Queries: 512, Iters: 5, Seed: *seed,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n":
+				cfg.N = *n
+			case "queries":
+				cfg.Queries = *queries
+			case "iters":
+				cfg.Iters = *iters
+			}
+		})
+		if *smoke {
+			// CI-sized: the agreement checks and schema shape still hold,
+			// the timings are merely noisy.
+			cfg.N, cfg.Queries, cfg.Iters = 1<<17, 64, 2
+		}
+		res, err := harness.RunKernelBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatKernelBench(res))
+		path := *out
+		if path == "" {
+			path = "BENCH_kernel.json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := harness.WriteKernelBenchJSON(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("kernel microbenchmarks written to %s\n", path)
 		return nil
 	})
 

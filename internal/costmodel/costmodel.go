@@ -27,6 +27,48 @@ import (
 // stopping criterion is "pieces fit into the CPU caches".
 const DefaultTargetPieceSize = 1 << 18
 
+// RadixBits is the fan-out of one radix-first coarse pass (2^RadixBits
+// buckets), mirrored from the cracker kernel for cost arithmetic.
+const RadixBits = 8
+
+// DefaultRadixMinPiece is the piece size above which the first touch of a
+// cold piece runs a radix coarse pass instead of a comparison crack. A radix
+// pass costs ~2 sweeps (histogram + scatter) and buys up to RadixBits
+// halvings; a comparison crack costs 1 sweep and buys one halving. Radix
+// therefore wins whenever the piece still needs 2+ halvings — but it also
+// fans out into up to 256 pieces at once, so gating it at half the
+// cache-resident target keeps it from shattering pieces that one or two
+// comparison cracks would finish, while every genuinely cold piece (the
+// multi-megabyte first touch of a column) takes the coarse pass.
+const DefaultRadixMinPiece = 1 << 17
+
+// PredicatedCrackFactor scales the comparison-crack cost terms for the
+// predicated (branch-free) partition loops: with no data-dependent branches
+// the partition sweep runs at close to memory speed instead of paying a
+// misprediction every other element. The factor is the measured single-core
+// ratio of predicated to branchy sweep time on random data (see
+// BENCH_kernel.json); cost estimates only ever compare against one another,
+// so the exact value matters less than applying it consistently to every
+// partition-sweep term.
+const PredicatedCrackFactor = 0.6
+
+// RadixCrackCost is the cost of one radix-first coarse pass over a piece of
+// n values: a histogram sweep plus an out-of-place scatter sweep. The
+// scatter's random-write pattern makes its touches full price even though
+// the loop is branch-free.
+func RadixCrackCost(n int) float64 { return 2 * float64(n) }
+
+// RadixFirst reports whether the first touch of a cold piece of pieceSize
+// values should run the radix coarse pass rather than a comparison crack.
+// minPiece <= 0 selects DefaultRadixMinPiece; the engine maps its
+// "disabled" sentinel before calling.
+func RadixFirst(pieceSize, minPiece int) bool {
+	if minPiece <= 0 {
+		minPiece = DefaultRadixMinPiece
+	}
+	return pieceSize >= minPiece
+}
+
 // Params configures the model.
 type Params struct {
 	// TargetPieceSize is the piece size at which refinement stops paying
@@ -133,15 +175,17 @@ func IndexedSelectCost(n int, selectivity float64) float64 {
 }
 
 // CrackedSelectCost is the expected cost of a cracked select when the column
-// is cracked into pieces of avgPieceSize: partitioning the bound pieces plus
-// touching the qualifying tuples.
+// is cracked into pieces of avgPieceSize: partitioning the bound pieces with
+// the predicated loops plus touching the qualifying tuples.
 func CrackedSelectCost(n int, avgPieceSize, selectivity float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	return 2*avgPieceSize + selectivity*float64(n)
+	return PredicatedCrackFactor*2*avgPieceSize + selectivity*float64(n)
 }
 
 // CrackActionCost is the expected cost of one random refinement action:
-// partitioning one average piece.
-func CrackActionCost(avgPieceSize float64) float64 { return avgPieceSize }
+// one predicated partition sweep of an average piece.
+func CrackActionCost(avgPieceSize float64) float64 {
+	return PredicatedCrackFactor * avgPieceSize
+}

@@ -1,0 +1,32 @@
+package cracker
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The predicated partition kernels must not allocate: they run on every
+// crack, and a steady-state query stream would otherwise turn into a
+// garbage-collection workload. AllocsPerRun re-partitions the same piece
+// (already-partitioned input still walks the full cursor loop), which is
+// exactly the steady state the contract covers.
+func TestPartitionZeroAlloc(t *testing.T) {
+	const n = 1 << 12
+	rng := rand.New(rand.NewPCG(7, 9))
+	v := make([]int64, n)
+	r := make([]uint32, n)
+	for i := range v {
+		v[i] = rng.Int64N(n)
+		r[i] = uint32(i)
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		partition2(v, r, 0, n, int64(n/2))
+	}); a != 0 {
+		t.Fatalf("partition2 allocates %.1f per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		partition3(v, r, 0, n, int64(n/4), int64(3*n/4))
+	}); a != 0 {
+		t.Fatalf("partition3 allocates %.1f per run, want 0", a)
+	}
+}

@@ -119,21 +119,30 @@ func (ix *Index) LookupRange(lo, hi int64) (from, to int, ok bool) {
 // splitting v's piece under its write latch if needed, and returns the
 // boundary position.
 func (ix *Index) ensureBoundaryConcurrent(v int64) int {
-	if pos, ok := ix.boundaryPos(v); ok {
-		return pos
-	}
-	a, b, lt := ix.lockPiece(v)
-	// Another goroutine may have cracked at exactly v before we latched.
-	if pos, ok := ix.boundaryPos(v); ok {
+	for {
+		if pos, ok := ix.boundaryPos(v); ok {
+			return pos
+		}
+		a, b, lt := ix.lockPiece(v)
+		// Another goroutine may have cracked at exactly v before we latched.
+		if pos, ok := ix.boundaryPos(v); ok {
+			lt.Unlock()
+			return pos
+		}
+		// A cold piece takes a radix coarse pass first. The pass changes
+		// piece identities (our latch may now cover only bucket 0), so drop
+		// the latch and re-locate v's bucket.
+		if ix.maybeRadixPieceShared(a, b) {
+			lt.Unlock()
+			continue
+		}
+		m := partition2(ix.vals, ix.rows, a, b, v)
+		ix.insertBoundary(v, m)
+		ix.cracks.Add(1)
+		ix.work.Add(int64(b - a))
 		lt.Unlock()
-		return pos
+		return m
 	}
-	m := partition2(ix.vals, ix.rows, a, b, v)
-	ix.insertBoundary(v, m)
-	ix.cracks.Add(1)
-	ix.work.Add(int64(b - a))
-	lt.Unlock()
-	return m
 }
 
 // CrackAtConcurrent is CrackAt under the piece-latch protocol: safe to call
@@ -143,20 +152,32 @@ func (ix *Index) CrackAtConcurrent(v int64) (pieceSize int, cracked bool) {
 	if len(ix.vals) == 0 {
 		return 0, false
 	}
-	if _, ok := ix.boundaryPos(v); ok {
-		return 0, false
-	}
-	a, b, lt := ix.lockPiece(v)
-	if _, ok := ix.boundaryPos(v); ok {
+	for {
+		if _, ok := ix.boundaryPos(v); ok {
+			return 0, false
+		}
+		a, b, lt := ix.lockPiece(v)
+		if _, ok := ix.boundaryPos(v); ok {
+			lt.Unlock()
+			return 0, false
+		}
+		if ix.maybeRadixPieceShared(a, b) {
+			lt.Unlock()
+			// The coarse pass may have placed a boundary exactly at v — the
+			// piece was split either way, so report the work done; otherwise
+			// retry and comparison-crack inside v's bucket.
+			if _, ok := ix.boundaryPos(v); ok {
+				return b - a, true
+			}
+			continue
+		}
+		m := partition2(ix.vals, ix.rows, a, b, v)
+		ix.insertBoundary(v, m)
+		ix.cracks.Add(1)
+		ix.work.Add(int64(b - a))
 		lt.Unlock()
-		return 0, false
+		return b - a, true
 	}
-	m := partition2(ix.vals, ix.rows, a, b, v)
-	ix.insertBoundary(v, m)
-	ix.cracks.Add(1)
-	ix.work.Add(int64(b - a))
-	lt.Unlock()
-	return b - a, true
 }
 
 // CrackRangeConcurrent is CrackRange under the piece-latch protocol. Only
@@ -179,6 +200,13 @@ func (ix *Index) CrackRangeConcurrent(lo, hi int64) (from, to int) {
 		aH, bH := ix.pieceBoundsTreeLocked(hi)
 		ix.treeMu.RUnlock()
 		if !okLo && !okHi && aH == a && bH == b {
+			if ix.maybeRadixPieceShared(a, b) {
+				// Piece identities changed; re-dispatch from the top so the
+				// bounds land in their buckets. Depth is bounded by the radix
+				// level count.
+				lt.Unlock()
+				return ix.CrackRangeConcurrent(lo, hi)
+			}
 			m1, m2 := partition3(ix.vals, ix.rows, a, b, lo, hi)
 			ix.treeMu.Lock()
 			ix.tree.Insert(lo, m1)

@@ -61,6 +61,11 @@ type Index struct {
 	// Domain bounds of the stored values, cached at construction.
 	domLo, domHi int64
 
+	// radixMin is the piece-size threshold for radix-first coarse cracking
+	// (see radix.go); <= 0 disables it. Set once via SetRadixMinPiece before
+	// the index is shared.
+	radixMin int
+
 	cracks atomic.Int64 // crack actions performed (boundaries inserted)
 	work   atomic.Int64 // elements touched by partitioning, the dominant cost
 }
@@ -185,7 +190,14 @@ func (ix *Index) CrackRange(lo, hi int64) (from, to int) {
 	aL, bL := ix.pieceBounds(lo)
 	aH, bH := ix.pieceBounds(hi)
 	if aL == aH && bL == bH {
-		// Both bounds fall inside the same piece: crack in three.
+		// Both bounds fall inside the same piece. A large cold piece takes a
+		// radix coarse pass first, after which the bounds land in (possibly
+		// different) buckets — re-dispatch. Recursion depth is bounded by the
+		// radix level count (the span shrinks 2^radixBits-fold per level).
+		if ix.maybeRadixPiece(aL, bL) {
+			return ix.CrackRange(lo, hi)
+		}
+		// Crack in three: one pass over the piece for both bounds.
 		m1, m2 := partition3(ix.vals, ix.rows, aL, bL, lo, hi)
 		ix.insertBoundary(lo, m1)
 		ix.insertBoundary(hi, m2)
@@ -193,13 +205,7 @@ func (ix *Index) CrackRange(lo, hi int64) (from, to int) {
 		ix.work.Add(int64(bL - aL))
 		return m1, m2
 	}
-	m1 := partition2(ix.vals, ix.rows, aL, bL, lo)
-	ix.insertBoundary(lo, m1)
-	m2 := partition2(ix.vals, ix.rows, aH, bH, hi)
-	ix.insertBoundary(hi, m2)
-	ix.cracks.Add(2)
-	ix.work.Add(int64(bL - aL + bH - aH))
-	return m1, m2
+	return ix.crackAt(lo), ix.crackAt(hi)
 }
 
 // boundaryPos looks up an existing crack boundary for value v.
@@ -219,12 +225,21 @@ func (ix *Index) insertBoundary(v int64, pos int) {
 
 // crackAt inserts a boundary for v (assumed absent) and returns its position.
 func (ix *Index) crackAt(v int64) int {
-	a, b := ix.pieceBounds(v)
-	m := partition2(ix.vals, ix.rows, a, b, v)
-	ix.insertBoundary(v, m)
-	ix.cracks.Add(1)
-	ix.work.Add(int64(b - a))
-	return m
+	for {
+		a, b := ix.pieceBounds(v)
+		if !ix.maybeRadixPiece(a, b) {
+			m := partition2(ix.vals, ix.rows, a, b, v)
+			ix.insertBoundary(v, m)
+			ix.cracks.Add(1)
+			ix.work.Add(int64(b - a))
+			return m
+		}
+		// The radix pass may have put a boundary exactly at v; inserting it
+		// again would clobber the position, so look before cracking.
+		if pos, ok := ix.boundaryPos(v); ok {
+			return pos
+		}
+	}
 }
 
 // CrackAt cracks the piece containing v around pivot v. It reports the size
@@ -438,49 +453,4 @@ func (ix *Index) Validate() error {
 		return true
 	})
 	return err
-}
-
-// partition2 reorders vals[a:b] (and rows in lockstep) so that values < pivot
-// precede values >= pivot, returning the split position.
-func partition2(vals []int64, rows []uint32, a, b int, pivot int64) int {
-	i, j := a, b-1
-	for {
-		for i <= j && vals[i] < pivot {
-			i++
-		}
-		for i <= j && vals[j] >= pivot {
-			j--
-		}
-		if i >= j {
-			break
-		}
-		vals[i], vals[j] = vals[j], vals[i]
-		rows[i], rows[j] = rows[j], rows[i]
-		i++
-		j--
-	}
-	return i
-}
-
-// partition3 reorders vals[a:b] into three bands: < lo, [lo, hi), >= hi,
-// returning the two split positions (m1 = start of middle, m2 = start of
-// high band).
-func partition3(vals []int64, rows []uint32, a, b int, lo, hi int64) (m1, m2 int) {
-	lt, i, gt := a, a, b-1
-	for i <= gt {
-		switch v := vals[i]; {
-		case v < lo:
-			vals[i], vals[lt] = vals[lt], vals[i]
-			rows[i], rows[lt] = rows[lt], rows[i]
-			lt++
-			i++
-		case v >= hi:
-			vals[i], vals[gt] = vals[gt], vals[i]
-			rows[i], rows[gt] = rows[gt], rows[i]
-			gt--
-		default:
-			i++
-		}
-	}
-	return lt, gt + 1
 }

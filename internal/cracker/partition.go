@@ -1,0 +1,86 @@
+package cracker
+
+// Predicated (branch-free) partition kernels — the innermost loops every
+// select, merge and idle refinement funnels through.
+//
+// The seed's Hoare-style loops branched on every comparison; with a random
+// pivot over unsorted data each branch is a coin flip, so the partition paid
+// a misprediction stall roughly every other element. Following the
+// predicated-cracking pattern of "Main Memory Adaptive Indexing for
+// Multi-core Systems" (Alvarez, Schuhknecht, Dittrich, Richter, DaMoN 2014),
+// the loops below replace data-dependent branches with flag materialisation
+// and mask arithmetic: every iteration executes the same instructions, swaps
+// are applied through an XOR mask, and the cursors advance by 0 or 1
+// computed from the comparison results. Nothing in here allocates.
+//
+// Bounds-check elimination is part of the file's contract: CI compiles this
+// file with -gcflags='-d=ssa/check_bce' and fails if any check appears. The
+// loops are written over re-sliced, zero-based views (and the last masked
+// access is index-clamped) so the compiler's prove pass can discharge every
+// access.
+
+// b2i returns 1 when b is true, 0 otherwise. The compiler lowers the
+// conditional to a flag materialisation (SETcc on amd64), not a branch.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// partition2 reorders vals[a:b] (and rows in lockstep) so that values < pivot
+// precede values >= pivot, returning the split position. Branch-free: the
+// loop body is identical whether or not a swap happens.
+func partition2(vals []int64, rows []uint32, a, b int, pivot int64) int {
+	// The caller always passes a valid piece (0 <= a <= b <= len); spelling
+	// the comparisons out lets the prove pass discharge the slice ops below.
+	if a < 0 || a >= b || b > len(vals) || b > len(rows) {
+		return a
+	}
+	v := vals[a:b]
+	r := rows[a:b]
+	i, j := 0, len(v)-1
+	for i < j {
+		if uint(i) >= uint(len(v)) || uint(j) >= uint(len(v)) || uint(j) >= uint(len(r)) {
+			break // unreachable: 0 <= i < j <= len(v)-1 throughout; BCE only
+		}
+		vi, vj := v[i], v[j]
+		ri, rj := r[i], r[j]
+		// Swap exactly when both ends are misplaced. m is all-ones then,
+		// all-zeros otherwise; XOR-masking applies or skips the exchange
+		// without a branch.
+		m := -int64(b2i(vi >= pivot) & b2i(vj < pivot))
+		x := (vi ^ vj) & m
+		y := (ri ^ rj) & uint32(m)
+		nvi, nvj := vi^x, vj^x
+		v[i], v[j] = nvi, nvj
+		r[i], r[j] = ri^y, rj^y
+		// After the (possible) swap at least one cursor moves: if neither
+		// condition held, the swap fired and both do — progress is
+		// unconditional, so the loop terminates with i == j (last element
+		// unclassified) or i == j+1 (all classified).
+		i += b2i(nvi < pivot)
+		j -= b2i(nvj >= pivot)
+	}
+	// Classify the element the cursors met on. When they crossed instead
+	// (i == j+1), v[i] is already known >= pivot and contributes 0. The
+	// guard is always true — i only ever advances while i < j <= len(v)-1 —
+	// so it predicts perfectly and exists purely to let the compiler
+	// discharge the final bounds check.
+	if uint(i) < uint(len(v)) {
+		i += b2i(v[i] < pivot)
+	}
+	return a + i
+}
+
+// partition3 reorders vals[a:b] into three bands: < lo, [lo, hi), >= hi,
+// returning the two split positions (m1 = start of middle, m2 = start of the
+// high band). Predicating a three-way split directly would need two masks
+// and three-way cursor logic; Alvarez et al. observe that two predicated
+// two-way passes are faster than one branchy three-way pass, so crack-in-
+// three is exactly that: split on lo, then split the upper band on hi.
+func partition3(vals []int64, rows []uint32, a, b int, lo, hi int64) (m1, m2 int) {
+	m1 = partition2(vals, rows, a, b, lo)
+	m2 = partition2(vals, rows, m1, b, hi)
+	return m1, m2
+}

@@ -1,0 +1,54 @@
+package cracker
+
+// Branchy reference partitions — the seed kernel's loops, kept verbatim as
+// the baseline that the kernel microbenchmarks (BENCH_kernel.json) and the
+// differential tests compare the predicated loops in partition.go against.
+// Deliberately NOT part of partition.go: that file carries a zero-bounds-
+// check contract enforced by CI, and these baselines are not held to it.
+
+// ReferencePartition2 is the seed's branchy Hoare partition over vals[a:b],
+// kept verbatim as the baseline the kernel microbenchmarks
+// (BENCH_kernel.json) and the differential fuzz compare the predicated
+// loops against. Semantics are identical to partition2.
+func ReferencePartition2(vals []int64, rows []uint32, a, b int, pivot int64) int {
+	i, j := a, b-1
+	for {
+		for i <= j && vals[i] < pivot {
+			i++
+		}
+		for i <= j && vals[j] >= pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		vals[i], vals[j] = vals[j], vals[i]
+		rows[i], rows[j] = rows[j], rows[i]
+		i++
+		j--
+	}
+	return i
+}
+
+// ReferencePartition3 is the seed's branchy single-pass three-way partition,
+// kept as the crack-in-three baseline for benchmarks and differential tests.
+// Semantics are identical to partition3.
+func ReferencePartition3(vals []int64, rows []uint32, a, b int, lo, hi int64) (m1, m2 int) {
+	lt, i, gt := a, a, b-1
+	for i <= gt {
+		switch v := vals[i]; {
+		case v < lo:
+			vals[i], vals[lt] = vals[lt], vals[i]
+			rows[i], rows[lt] = rows[lt], rows[i]
+			lt++
+			i++
+		case v >= hi:
+			vals[i], vals[gt] = vals[gt], vals[i]
+			rows[i], rows[gt] = rows[gt], rows[i]
+			gt--
+		default:
+			i++
+		}
+	}
+	return lt, gt + 1
+}

@@ -1,0 +1,177 @@
+package cracker
+
+// Radix-first coarse cracking.
+//
+// Comparison cracking splits a piece in two per touch, so a large cold piece
+// needs ~log2(n/target) touches — each a full sweep of the piece — before
+// queries stop paying for reorganisation. Following "Main Memory Adaptive
+// Indexing for Multi-core Systems" (Alvarez et al., DaMoN 2014), the first
+// touch of a large cold piece instead pays ONE out-of-place pass that
+// scatters the piece into up to 2^8 radix buckets on the high bits of the
+// value range, and registers every bucket boundary as a crack-tree piece.
+// Subsequent queries comparison-crack within a bucket as usual — the radix
+// pass replaces the first ~8 comparison sweeps with two sequential passes
+// (histogram + scatter) over the same data.
+//
+// Bucket keys are derived from the piece's OWN data min/max, not the column
+// domain: ripple updates drift the column domain, and a piece's value bounds
+// in the crack tree are open at the extremes, so the data itself is the only
+// reliable range. Because every bucket boundary is inserted — including
+// empty buckets — each level divides the value span by up to 256, so
+// repeated radix passes over still-large buckets terminate in at most
+// ceil(64/8) levels even on maximally skewed data. An empty bucket is a
+// zero-size piece whose start collides with its right neighbour's; the
+// piece-latch protocol tolerates that (the shared latch key merely
+// over-serialises two adjacent pieces).
+//
+// The scatter buffer comes from the scratch pool, so steady-state radix
+// passes allocate nothing.
+
+import (
+	"math/bits"
+
+	"holistic/internal/scratch"
+)
+
+// radixBits is the fan-out of one coarse pass: up to 2^radixBits buckets.
+const radixBits = 8
+
+// SetRadixMinPiece sets the piece-size threshold above which a crack touch
+// runs a radix-first coarse pass instead of a comparison split. n <= 0
+// disables radix-first cracking (the default for a bare New).
+func (ix *Index) SetRadixMinPiece(n int) { ix.radixMin = n }
+
+// maybeRadixPiece runs a radix coarse pass over the piece [a, b) if the
+// radix-first heuristic says the piece is worth it, reporting whether any
+// boundaries were inserted. The caller must hold the whole index exclusively
+// (the column write latch): when the piece is the entire column, the pass
+// swaps the scatter buffer in place of the index arrays instead of copying
+// back, which is only sound with no concurrent readers of ix.vals.
+func (ix *Index) maybeRadixPiece(a, b int) bool {
+	if ix.radixMin <= 0 || b-a < ix.radixMin {
+		return false
+	}
+	return ix.radixPiece(a, b, true) > 0
+}
+
+// maybeRadixPieceShared is maybeRadixPiece for callers that hold only the
+// piece's write latch (the *Concurrent paths): readers may be scanning other
+// pieces of ix.vals, so the pass always copies the scattered data back
+// instead of swapping buffers. When it returns true, piece identities have
+// changed and the caller must drop its latch and re-locate.
+func (ix *Index) maybeRadixPieceShared(a, b int) bool {
+	if ix.radixMin <= 0 || b-a < ix.radixMin {
+		return false
+	}
+	return ix.radixPiece(a, b, false) > 0
+}
+
+// radixPiece scatters the piece [a, b) into value-ordered radix buckets and
+// registers the bucket boundaries, returning the number of boundaries
+// inserted (0 when the piece is single-valued and cannot be split). swapOK
+// permits the full-column buffer swap (exclusive callers only).
+func (ix *Index) radixPiece(a, b int, swapOK bool) int {
+	if a < 0 || a >= b || b > len(ix.vals) || b > len(ix.rows) {
+		return 0
+	}
+	n := b - a
+	if n < 2 {
+		return 0
+	}
+	v := ix.vals[a:b]
+	r := ix.rows[a:b]
+
+	// The piece's value bounds come from the crack tree (its own boundary
+	// key below, its right neighbour's key above) with the cached domain
+	// bounds for the outermost pieces — no scan needed. The bounds are
+	// conservative (ripple deletes never shrink the domain), which only
+	// coarsens the buckets; correctness needs just lo <= min(piece) and
+	// max(piece) <= hi, both guaranteed by the cracking invariant.
+	ix.treeMu.RLock()
+	lo, hi := ix.domLo, ix.domHi
+	if k, p, ok := ix.tree.FloorPos(a); ok && p == a {
+		lo = k
+	}
+	if k, _, ok := ix.tree.HigherPos(a); ok {
+		hi = k - 1 // neighbour key is exclusive: values < k
+	}
+	ix.treeMu.RUnlock()
+	if lo >= hi {
+		return 0
+	}
+	// Bucket index of value x is (x-lo)>>shift, with shift chosen so the
+	// largest index fits in radixBits bits. All arithmetic is uint64: hi-lo
+	// overflows int64 when the piece spans most of the int64 range.
+	span := uint64(hi) - uint64(lo)
+	shift := uint(0)
+	if w := bits.Len64(span); w > radixBits {
+		shift = uint(w - radixBits)
+	}
+	nb := int(span>>shift) + 1 // buckets actually used, in [2, 256]
+	if nb < 2 || nb > 1<<radixBits {
+		return 0 // unreachable: shift bounds span>>shift to 8 bits; BCE only
+	}
+
+	// Pass 1: histogram. The &0xff mask is redundant (the shift bounds the
+	// index) but lets the compiler drop the bounds check in the hot loop.
+	var hist [1 << radixBits]int
+	for _, x := range v {
+		hist[((uint64(x)-uint64(lo))>>shift)&(1<<radixBits-1)]++
+	}
+	var starts [1<<radixBits + 1]int
+	sum := 0
+	for k := 0; k < nb; k++ {
+		starts[k] = sum
+		sum += hist[k]
+	}
+	starts[nb] = sum
+
+	// Pass 2: out-of-place scatter into pooled scratch, then copy back.
+	// hist doubles as the per-bucket write cursor.
+	buf := scratch.Get(n)
+	bv, br := buf.V, buf.R
+	cur := starts // copy; starts stays pristine for boundary registration
+	if len(bv) >= len(v) && len(br) >= len(r) {
+		for i, x := range v {
+			bkt := ((uint64(x) - uint64(lo)) >> shift) & (1<<radixBits - 1)
+			o := cur[bkt]
+			if uint(o) < uint(len(bv)) && uint(o) < uint(len(br)) {
+				bv[o] = x
+				br[o] = r[i]
+			}
+			cur[bkt] = o + 1
+		}
+	}
+	if swapOK && a == 0 && b == len(ix.vals) && n <= len(bv) && n <= len(br) {
+		// The piece is the whole column and the caller holds it exclusively:
+		// keep the scattered buffer as the index arrays and donate the old
+		// arrays to the pool — the copy-back (the single largest slice of the
+		// pass's memory traffic) disappears. v and r still alias the full old
+		// arrays here because a == 0.
+		ix.vals, ix.rows = bv[:n], br[:n]
+		scratch.Adopt(buf, v, r)
+	} else {
+		copy(v, bv)
+		copy(r, br)
+		scratch.Put(buf)
+	}
+
+	// Register every bucket boundary — bucket k holds exactly the values in
+	// [lo + k<<shift, lo + (k+1)<<shift), so the boundary key of bucket k is
+	// its range's low end and the crack-tree invariant (key -> first position
+	// with value >= key) holds even for empty buckets. All keys lie strictly
+	// inside the piece's open value interval, so none collides with an
+	// existing boundary.
+	ix.treeMu.Lock()
+	inserted := 0
+	for k := 1; k < nb; k++ {
+		key := lo + int64(uint64(k)<<shift)
+		if ix.tree.Insert(key, a+starts[k]) {
+			inserted++
+		}
+	}
+	ix.treeMu.Unlock()
+	ix.cracks.Add(int64(inserted))
+	ix.work.Add(int64(2 * n)) // histogram pass + scatter pass
+	return inserted
+}

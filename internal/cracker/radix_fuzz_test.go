@@ -1,0 +1,112 @@
+package cracker
+
+// FuzzRadixPartition is the differential check for radix-first coarse
+// cracking: the same data and query sequence run through three oracles —
+//
+//  1. a radix-enabled index (threshold decoded from the input, low enough
+//     that coarse passes actually fire);
+//  2. a radix-disabled index (pure comparison cracking);
+//  3. a naive scan of the original data.
+//
+// All three must agree on every range result, and the radix index must keep
+// its structural invariants (Validate) and its full-column multiset. The
+// data shape varies with the input: uniform, heavily duplicated, and skewed
+// distributions with outliers all exercise different bucket geometries
+// (empty buckets, single-bucket pieces, repeated radix levels).
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func FuzzRadixPartition(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{9, 0xff, 0x80, 0x40, 0x20, 0x10, 0x08, 0x04, 0x02})
+	f.Add([]byte("radix all the pieces"))
+	f.Add([]byte{2, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		const n = 1 << 10
+		domain := int64(1) << (8 + data[0]%16) // 2^8 .. 2^23
+		shape := data[0] % 3
+		radixMin := 16 << (data[1] % 5) // 16 .. 256: coarse passes fire often
+
+		rng := rand.New(rand.NewPCG(uint64(data[0]), uint64(data[1])))
+		orig := make([]int64, n)
+		for i := range orig {
+			switch shape {
+			case 0: // uniform
+				orig[i] = rng.Int64N(domain)
+			case 1: // heavy duplicates
+				orig[i] = rng.Int64N(16) * (domain / 16)
+			default: // skewed low with rare outliers
+				if rng.IntN(64) == 0 {
+					orig[i] = domain - 1 - rng.Int64N(domain/8+1)
+				} else {
+					orig[i] = rng.Int64N(domain/64 + 1)
+				}
+			}
+		}
+		mk := func(radixMin int) *Index {
+			vals := append([]int64(nil), orig...)
+			rows := make([]uint32, n)
+			for i := range rows {
+				rows[i] = uint32(i)
+			}
+			ix := New(vals, rows)
+			ix.SetRadixMinPiece(radixMin)
+			return ix
+		}
+		radix := mk(radixMin)
+		comparison := mk(0)
+
+		for i := 2; i+2 < len(data); i += 3 {
+			concurrent := data[i]&1 == 1
+			lo := int64(data[i+1]) * (domain / 256)
+			hi := int64(data[i+2]) * (domain / 256)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			var rc, cc int
+			var rs, cs int64
+			if concurrent {
+				from, to := radix.CrackRangeConcurrent(lo, hi)
+				rc, rs = radix.CountSumConcurrent(from, to)
+				from, to = comparison.CrackRangeConcurrent(lo, hi)
+				cc, cs = comparison.CountSumConcurrent(from, to)
+			} else {
+				from, to := radix.CrackRange(lo, hi)
+				rc, rs = radix.CountSum(from, to)
+				from, to = comparison.CrackRange(lo, hi)
+				cc, cs = comparison.CountSum(from, to)
+			}
+			wc, ws := naiveCountSum(orig, lo, hi)
+			if rc != wc || rs != ws {
+				t.Fatalf("radix [%d,%d): got %d/%d want %d/%d", lo, hi, rc, rs, wc, ws)
+			}
+			if cc != wc || cs != ws {
+				t.Fatalf("comparison [%d,%d): got %d/%d want %d/%d", lo, hi, cc, cs, wc, ws)
+			}
+			if err := radix.Validate(); err != nil {
+				t.Fatalf("radix index after [%d,%d): %v", lo, hi, err)
+			}
+		}
+
+		// The radix index still holds exactly the original multiset, value
+		// by value, with every row id paired to its original value.
+		got := make(map[uint32]int64, n)
+		for i, r := range radix.Rows() {
+			got[r] = radix.Values()[i]
+		}
+		if len(got) != n {
+			t.Fatalf("row ids collapsed: %d distinct of %d", len(got), n)
+		}
+		for r, v := range got {
+			if orig[r] != v {
+				t.Fatalf("row %d detached: value %d, want %d", r, v, orig[r])
+			}
+		}
+	})
+}

@@ -131,6 +131,12 @@ type Config struct {
 	// selects shard.DefaultIngestCap. Smaller caps trade write latency
 	// spikes for cheaper reads (the snapshot combine is O(queue)).
 	IngestCap int
+	// RadixMinPiece is the piece-size threshold above which the first
+	// touch of a cold piece runs a radix-first coarse pass (one
+	// out-of-place 2^8-bucket partition) instead of a comparison crack.
+	// 0 selects costmodel.DefaultRadixMinPiece; < 0 disables radix-first
+	// cracking entirely.
+	RadixMinPiece int
 }
 
 // Result is the outcome of one select: the projection's cardinality and sum
@@ -230,6 +236,7 @@ func (e *Engine) shardConfig() shard.Config {
 		ScanParallelism:     par,
 		Seed:                e.cfg.Seed,
 		IngestCap:           e.cfg.IngestCap,
+		RadixMinPiece:       e.cfg.RadixMinPiece,
 	}
 }
 

@@ -1,0 +1,428 @@
+package harness
+
+// Kernel microbenchmarks: before/after timings of the raw-speed kernel pass
+// (predicated partitions, radix-first coarse cracking, branchless scans,
+// concrete-pair offline sort). Every case times the seed's loop ("baseline")
+// and the current kernel ("new") in the same process on the same data, so
+// the emitted BENCH_kernel.json records benchstat-style deltas that are
+// comparable across commits without keeping old binaries around.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"holistic/internal/costmodel"
+	"holistic/internal/cracker"
+	"holistic/internal/scan"
+	"holistic/internal/sortindex"
+	"holistic/internal/workload"
+)
+
+// KernelBenchConfig configures the kernel microbenchmark suite.
+type KernelBenchConfig struct {
+	// N is the cold-piece / column size for the crack and scan cases.
+	N int
+	// Queries is the length of the convergence sweep.
+	Queries int
+	// Iters is the measured repetitions per case (the reported ns/op is the
+	// per-iteration mean after one warm-up iteration).
+	Iters int
+	// Seed makes data and query streams reproducible.
+	Seed uint64
+}
+
+func (c *KernelBenchConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 1 << 21
+	}
+	if c.Queries <= 0 {
+		c.Queries = 512
+	}
+	if c.Iters <= 0 {
+		c.Iters = 5
+	}
+}
+
+// KernelCase is one before/after cell. The JSON field names are the contract
+// docs/bench_kernel.schema.json validates.
+type KernelCase struct {
+	Name string `json:"name"`
+	// N is the elements touched per op (piece size, column size, ...).
+	N     int `json:"n"`
+	Iters int `json:"iters"`
+	// BaselineNSOp / NewNSOp are mean wall nanoseconds per operation for the
+	// seed kernel and the current kernel on identical data.
+	BaselineNSOp float64 `json:"baseline_ns_per_op"`
+	NewNSOp      float64 `json:"new_ns_per_op"`
+	// Speedup is BaselineNSOp / NewNSOp (> 1 means the new kernel is faster).
+	Speedup float64 `json:"speedup"`
+}
+
+// KernelBenchResult is the machine-readable outcome of RunKernelBench,
+// serialised to BENCH_kernel.json.
+type KernelBenchResult struct {
+	Bench      string       `json:"bench"`
+	N          int          `json:"n"`
+	Queries    int          `json:"queries"`
+	Seed       uint64       `json:"seed"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Cores      int          `json:"cores"`
+	Cases      []KernelCase `json:"cases"`
+}
+
+// timeOp runs op iters+1 times (discarding the first as warm-up) and returns
+// the mean nanoseconds per run. setup runs before each iteration, outside the
+// measured window.
+func timeOp(iters int, setup func(), op func()) float64 {
+	var total time.Duration
+	for i := 0; i <= iters; i++ {
+		setup()
+		t0 := time.Now()
+		op()
+		dt := time.Since(t0)
+		if i > 0 {
+			total += dt
+		}
+	}
+	return float64(total.Nanoseconds()) / float64(iters)
+}
+
+// refCracker is the seed kernel reconstructed in miniature: branchy
+// partitions plus a sorted boundary list. It exists so the convergence sweep
+// can time the seed's per-query work without keeping an old binary around;
+// the boundary bookkeeping (binary search + ordered insert) is a few dozen
+// nanoseconds per query, noise against the partition sweeps being measured.
+type refCracker struct {
+	vals []int64
+	rows []uint32
+	keys []int64 // sorted crack keys
+	pos  []int   // pos[i] = first position with value >= keys[i]
+}
+
+func (rc *refCracker) pieceBounds(v int64) (int, int) {
+	i := sort.Search(len(rc.keys), func(i int) bool { return rc.keys[i] > v })
+	a, b := 0, len(rc.vals)
+	if i > 0 {
+		a = rc.pos[i-1]
+	}
+	if i < len(rc.keys) {
+		b = rc.pos[i]
+	}
+	return a, b
+}
+
+func (rc *refCracker) insert(v int64, p int) {
+	i := sort.Search(len(rc.keys), func(i int) bool { return rc.keys[i] >= v })
+	if i < len(rc.keys) && rc.keys[i] == v {
+		return
+	}
+	rc.keys = append(rc.keys, 0)
+	rc.pos = append(rc.pos, 0)
+	copy(rc.keys[i+1:], rc.keys[i:])
+	copy(rc.pos[i+1:], rc.pos[i:])
+	rc.keys[i], rc.pos[i] = v, p
+}
+
+func (rc *refCracker) crackRange(lo, hi int64) (int, int) {
+	from := rc.crackAt(lo)
+	to := rc.crackAt(hi)
+	return from, to
+}
+
+func (rc *refCracker) crackAt(v int64) int {
+	i := sort.Search(len(rc.keys), func(i int) bool { return rc.keys[i] >= v })
+	if i < len(rc.keys) && rc.keys[i] == v {
+		return rc.pos[i]
+	}
+	a, b := rc.pieceBounds(v)
+	m := cracker.ReferencePartition2(rc.vals, rc.rows, a, b, v)
+	rc.insert(v, m)
+	return m
+}
+
+// RunKernelBench runs the kernel microbenchmark suite and returns the
+// machine-readable result. Every case checks its two implementations agree
+// before timing them.
+func RunKernelBench(cfg KernelBenchConfig) (*KernelBenchResult, error) {
+	cfg.defaults()
+	res := &KernelBenchResult{
+		Bench:      "kernel",
+		N:          cfg.N,
+		Queries:    cfg.Queries,
+		Seed:       cfg.Seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Cores:      runtime.NumCPU(),
+	}
+	vals := workload.UniformData(cfg.Seed^0x6b65726e, cfg.N, 1, int64(cfg.N)+1)
+	rows := make([]uint32, cfg.N)
+	for i := range rows {
+		rows[i] = uint32(i)
+	}
+
+	cases := []func(KernelBenchConfig, []int64, []uint32) (KernelCase, error){
+		benchCrackFirstTouch,
+		benchCrackConvergeSweep,
+		benchConvergedProbe,
+		benchScanCountSum,
+		benchScanPositions,
+		benchOfflineSort,
+	}
+	for _, fn := range cases {
+		kc, err := fn(cfg, vals, rows)
+		if err != nil {
+			return nil, err
+		}
+		res.Cases = append(res.Cases, kc)
+	}
+	return res, nil
+}
+
+// coldPhaseQueries is the length of the crack_first_touch cold phase: with
+// the default radix threshold at N/16, every one of the first 8 queries on a
+// cold column lands in a piece still above the threshold, so the case times
+// exactly the first touches of large cold pieces — where the seed pays a
+// full branchy sweep per query and the new kernel pays one radix coarse pass
+// up front.
+const coldPhaseQueries = 8
+
+// benchCrackFirstTouch: the cold phase — the first few range queries on a
+// cold column, every one of which first-touches a large cold piece. The seed
+// branchy-partitions a near-full-size piece per query; the new kernel pays
+// one radix coarse pass on query 1 and predicated in-bucket cracks after.
+func benchCrackFirstTouch(cfg KernelBenchConfig, vals []int64, rows []uint32) (KernelCase, error) {
+	n := int64(cfg.N)
+	type query struct{ lo, hi int64 }
+	rng := rand.New(rand.NewPCG(cfg.Seed^21, cfg.Seed^34))
+	queries := make([]query, coldPhaseQueries)
+	span := n / 100
+	for i := range queries {
+		lo := 1 + rng.Int64N(n-span)
+		queries[i] = query{lo, lo + span}
+	}
+
+	v := make([]int64, cfg.N)
+	r := make([]uint32, cfg.N)
+	reset := func() {
+		copy(v, vals)
+		copy(r, rows)
+	}
+
+	// Agreement check: both cold phases must isolate the same tuple sets.
+	reset()
+	rc := &refCracker{vals: v, rows: r}
+	want := make([][2]int64, len(queries))
+	for i, q := range queries {
+		f, t := rc.crackRange(q.lo, q.hi)
+		c, s := countSumRegion(v, f, t)
+		want[i] = [2]int64{int64(c), s}
+	}
+	reset()
+	ix := cracker.New(v, r)
+	ix.SetRadixMinPiece(costmodel.DefaultRadixMinPiece)
+	for i, q := range queries {
+		f, t := ix.CrackRange(q.lo, q.hi)
+		if c, s := ix.CountSum(f, t); int64(c) != want[i][0] || s != want[i][1] {
+			return KernelCase{}, fmt.Errorf("kernelbench: cold phase query %d diverged from reference", i)
+		}
+	}
+
+	base := timeOp(cfg.Iters, reset, func() {
+		rc := &refCracker{vals: v, rows: r}
+		for _, q := range queries {
+			rc.crackRange(q.lo, q.hi)
+		}
+	})
+	var ix2 *cracker.Index
+	neu := timeOp(cfg.Iters, func() {
+		reset()
+		ix2 = cracker.New(v, r)
+		ix2.SetRadixMinPiece(costmodel.DefaultRadixMinPiece)
+	}, func() {
+		for _, q := range queries {
+			ix2.CrackRange(q.lo, q.hi)
+		}
+	})
+	return kernelCase("crack_first_touch", cfg.N, cfg.Iters, base, neu), nil
+}
+
+// benchCrackConvergeSweep: a stream of random range queries from cold until
+// the index converges — the seed's branchy comparison cracking vs the new
+// radix-first + predicated kernel, total time for the whole stream.
+func benchCrackConvergeSweep(cfg KernelBenchConfig, vals []int64, rows []uint32) (KernelCase, error) {
+	n := int64(cfg.N)
+	type query struct{ lo, hi int64 }
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xc0ffee))
+	queries := make([]query, cfg.Queries)
+	span := n / 100
+	for i := range queries {
+		lo := 1 + rng.Int64N(n-span)
+		queries[i] = query{lo, lo + span}
+	}
+
+	v := make([]int64, cfg.N)
+	r := make([]uint32, cfg.N)
+	base := timeOp(cfg.Iters, func() {
+		copy(v, vals)
+		copy(r, rows)
+	}, func() {
+		rc := &refCracker{vals: v, rows: r}
+		for _, q := range queries {
+			rc.crackRange(q.lo, q.hi)
+		}
+	})
+	var ix *cracker.Index
+	neu := timeOp(cfg.Iters, func() {
+		copy(v, vals)
+		copy(r, rows)
+		ix = cracker.New(v, r)
+		ix.SetRadixMinPiece(costmodel.DefaultRadixMinPiece)
+	}, func() {
+		for _, q := range queries {
+			ix.CrackRange(q.lo, q.hi)
+		}
+	})
+	return kernelCase("crack_converge_sweep", cfg.N, cfg.Iters, base, neu), nil
+}
+
+// benchConvergedProbe: boundary-hit lookups on a fully converged index must
+// not regress — radix-first only changes how the index got there. Baseline is
+// a radix-disabled converged index, new is a radix-converged one.
+func benchConvergedProbe(cfg KernelBenchConfig, vals []int64, rows []uint32) (KernelCase, error) {
+	n := int64(cfg.N)
+	type query struct{ lo, hi int64 }
+	rng := rand.New(rand.NewPCG(cfg.Seed^7, cfg.Seed^13))
+	queries := make([]query, cfg.Queries)
+	span := n / 100
+	for i := range queries {
+		lo := 1 + rng.Int64N(n-span)
+		queries[i] = query{lo, lo + span}
+	}
+	converge := func(radixMin int) *cracker.Index {
+		v := append([]int64(nil), vals...)
+		r := append([]uint32(nil), rows...)
+		ix := cracker.New(v, r)
+		ix.SetRadixMinPiece(radixMin)
+		for _, q := range queries {
+			ix.CrackRange(q.lo, q.hi)
+		}
+		return ix
+	}
+	plain := converge(0)
+	radix := converge(costmodel.DefaultRadixMinPiece)
+
+	probe := func(ix *cracker.Index) func() {
+		return func() {
+			for _, q := range queries {
+				f, t := ix.CrackRange(q.lo, q.hi)
+				ix.CountSum(f, t)
+			}
+		}
+	}
+	base := timeOp(cfg.Iters, func() {}, probe(plain))
+	neu := timeOp(cfg.Iters, func() {}, probe(radix))
+	return kernelCase("converged_probe", cfg.N, cfg.Iters, base, neu), nil
+}
+
+// benchScanCountSum: full-column predicate scan, branchy vs branchless, at
+// ~50% selectivity where branch misprediction is worst.
+func benchScanCountSum(cfg KernelBenchConfig, vals []int64, _ []uint32) (KernelCase, error) {
+	n := int64(cfg.N)
+	lo, hi := n/4, n/4+n/2 // ~50% selectivity
+	wc, ws := scan.ReferenceCountSum(vals, lo, hi)
+	if c, s := scan.CountSum(vals, lo, hi); c != wc || s != ws {
+		return KernelCase{}, fmt.Errorf("kernelbench: CountSum diverged from reference")
+	}
+	base := timeOp(cfg.Iters, func() {}, func() { scan.ReferenceCountSum(vals, lo, hi) })
+	neu := timeOp(cfg.Iters, func() {}, func() { scan.CountSum(vals, lo, hi) })
+	return kernelCase("scan_count_sum", cfg.N, cfg.Iters, base, neu), nil
+}
+
+// benchScanPositions: candidate-list scan, branchy append vs branch-free
+// cursor, both writing into preallocated capacity.
+func benchScanPositions(cfg KernelBenchConfig, vals []int64, _ []uint32) (KernelCase, error) {
+	n := int64(cfg.N)
+	lo, hi := n/4, n/4+n/2
+	out := make([]uint32, 0, cfg.N)
+	want := scan.ReferencePositions(vals, lo, hi, nil)
+	got := scan.Positions(vals, lo, hi, out)
+	if len(want) != len(got) {
+		return KernelCase{}, fmt.Errorf("kernelbench: Positions diverged from reference")
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return KernelCase{}, fmt.Errorf("kernelbench: Positions diverged from reference at %d", i)
+		}
+	}
+	base := timeOp(cfg.Iters, func() {}, func() { scan.ReferencePositions(vals, lo, hi, out[:0]) })
+	neu := timeOp(cfg.Iters, func() {}, func() { scan.Positions(vals, lo, hi, out[:0]) })
+	return kernelCase("scan_positions", cfg.N, cfg.Iters, base, neu), nil
+}
+
+// benchOfflineSort: the full-index build, interface-based sort.Slice vs
+// concrete-pair pdqsort. Sized down from N (a full 2M-element comparison
+// sort would dominate the suite's runtime).
+func benchOfflineSort(cfg KernelBenchConfig, vals []int64, rows []uint32) (KernelCase, error) {
+	n := cfg.N / 8
+	if n < 2 {
+		n = cfg.N
+	}
+	v := make([]int64, n)
+	r := make([]uint32, n)
+	reset := func() {
+		copy(v, vals[:n])
+		copy(r, rows[:n])
+	}
+	base := timeOp(cfg.Iters, reset, func() { sortindex.ReferenceBuildComparison(v, r) })
+	neu := timeOp(cfg.Iters, reset, func() { sortindex.BuildComparison(v, r) })
+	return kernelCase("offline_sort", n, cfg.Iters, base, neu), nil
+}
+
+func kernelCase(name string, n, iters int, base, neu float64) KernelCase {
+	speedup := 0.0
+	if neu > 0 {
+		speedup = base / neu
+	}
+	return KernelCase{
+		Name:         name,
+		N:            n,
+		Iters:        iters,
+		BaselineNSOp: base,
+		NewNSOp:      neu,
+		Speedup:      speedup,
+	}
+}
+
+func countSumRegion(vals []int64, from, to int) (int, int64) {
+	var sum int64
+	for _, x := range vals[from:to] {
+		sum += x
+	}
+	return to - from, sum
+}
+
+// WriteKernelBenchJSON serialises the result as indented JSON — the
+// BENCH_kernel.json format the CI schema check validates.
+func WriteKernelBenchJSON(w io.Writer, res *KernelBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// FormatKernelBench renders the suite as a before/after table.
+func FormatKernelBench(res *KernelBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel microbenchmarks: n=%d, %d queries/sweep, %d iters, GOMAXPROCS=%d, cores=%d\n",
+		res.N, res.Queries, res.Cases[0].Iters, res.GOMAXPROCS, res.Cores)
+	fmt.Fprintf(&b, "%-22s %10s %14s %14s %9s\n", "case", "n", "baseline", "new", "speedup")
+	for _, c := range res.Cases {
+		fmt.Fprintf(&b, "%-22s %10d %12.0fns %12.0fns %8.2fx\n",
+			c.Name, c.N, c.BaselineNSOp, c.NewNSOp, c.Speedup)
+	}
+	return b.String()
+}

@@ -90,6 +90,7 @@ type ShardBenchResult struct {
 	Selectivity float64    `json:"selectivity"`
 	Seed        uint64     `json:"seed"`
 	GOMAXPROCS  int        `json:"gomaxprocs"`
+	Cores       int        `json:"cores"`
 	Runs        []ShardRun `json:"runs"`
 }
 
@@ -108,6 +109,7 @@ func RunShardBench(cfg ShardBenchConfig) (*ShardBenchResult, error) {
 		Selectivity: cfg.Selectivity,
 		Seed:        cfg.Seed,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Cores:       runtime.NumCPU(),
 	}
 	for _, shards := range cfg.ShardCounts {
 		if shards < 1 {
@@ -201,8 +203,8 @@ func WriteShardBenchJSON(w io.Writer, res *ShardBenchResult) error {
 // FormatShardBench renders the sweep as a strategy x shards table.
 func FormatShardBench(res *ShardBenchResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Shard sweep: %d rows, %d queries/run, selectivity %.3f, GOMAXPROCS=%d\n",
-		res.N, res.Queries, res.Selectivity, res.GOMAXPROCS)
+	fmt.Fprintf(&b, "Shard sweep: %d rows, %d queries/run, selectivity %.3f, GOMAXPROCS=%d, cores=%d\n",
+		res.N, res.Queries, res.Selectivity, res.GOMAXPROCS, res.Cores)
 	fmt.Fprintf(&b, "%-9s %7s %10s %10s %10s %12s %8s %7s\n",
 		"strategy", "shards", "p50", "p99", "total", "throughput", "idle", "fanout")
 	for _, r := range res.Runs {

@@ -121,6 +121,7 @@ type WriteBenchResult struct {
 	Batch           int          `json:"batch"`
 	Seed            uint64       `json:"seed"`
 	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Cores           int          `json:"cores"`
 	Runs            []WriteBurst `json:"runs"`
 	// RowsInserted / RowsDeleted are the run's committed write totals; the
 	// final full-range read must equal seed + inserted - deleted exactly.
@@ -218,6 +219,7 @@ func RunWriteBench(cfg WriteBenchConfig) (*WriteBenchResult, error) {
 		Batch:           cfg.Batch,
 		Seed:            cfg.Seed,
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Cores:           runtime.NumCPU(),
 		OracleOK:        true,
 	}
 	ledgers := make([]clientLedger, cfg.Clients)
@@ -423,8 +425,8 @@ func WriteWriteBenchJSON(w io.Writer, res *WriteBenchResult) error {
 // write-path balance summary.
 func FormatWriteBench(res *WriteBenchResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Write benchmark: %d clients closed-loop over loopback, %d seeded rows, %d bursts x %d batches/client x %d rows, GOMAXPROCS=%d\n",
-		res.Clients, res.N, res.Bursts, res.BatchesPerBurst, res.Batch, res.GOMAXPROCS)
+	fmt.Fprintf(&b, "Write benchmark: %d clients closed-loop over loopback, %d seeded rows, %d bursts x %d batches/client x %d rows, GOMAXPROCS=%d, cores=%d\n",
+		res.Clients, res.N, res.Bursts, res.BatchesPerBurst, res.Batch, res.GOMAXPROCS, res.Cores)
 	fmt.Fprintf(&b, "%-7s %8s %8s %6s %10s %10s %10s | %8s %11s %11s %9s\n",
 		"phase", "inserts", "deletes", "reads", "p50", "p99", "stmts/s",
 		"pending", "gap merges", "gap ops", "left")

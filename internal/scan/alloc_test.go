@@ -1,0 +1,35 @@
+package scan
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The branchless scan loops must not allocate. Positions is the interesting
+// one: handed capacity for the worst case, its cursor loop and epilogue must
+// reuse that capacity instead of growing.
+func TestScanZeroAlloc(t *testing.T) {
+	const n = 1 << 12
+	rng := rand.New(rand.NewPCG(3, 5))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int64N(n)
+	}
+	lo, hi := int64(n/4), int64(3*n/4)
+	if a := testing.AllocsPerRun(20, func() {
+		CountSum(vals, lo, hi)
+	}); a != 0 {
+		t.Fatalf("CountSum allocates %.1f per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		Count(vals, lo, hi)
+	}); a != 0 {
+		t.Fatalf("Count allocates %.1f per run, want 0", a)
+	}
+	out := make([]uint32, 0, n)
+	if a := testing.AllocsPerRun(20, func() {
+		out = Positions(vals, lo, hi, out[:0])
+	}); a != 0 {
+		t.Fatalf("Positions with preallocated capacity allocates %.1f per run, want 0", a)
+	}
+}

@@ -1,0 +1,39 @@
+package scan
+
+// Branchy reference scans — the seed's loops, kept verbatim as the baseline
+// the kernel microbenchmarks (BENCH_kernel.json) and differential tests
+// compare the branch-free loops in scan.go against. Deliberately NOT part of
+// scan.go: that file carries a zero-bounds-check contract enforced by CI,
+// and these baselines are not held to it.
+
+// ReferenceCountSum is the seed's branchy CountSum.
+func ReferenceCountSum(vals []int64, lo, hi int64) (count int, sum int64) {
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			count++
+			sum += v
+		}
+	}
+	return count, sum
+}
+
+// ReferenceCount is the seed's branchy Count.
+func ReferenceCount(vals []int64, lo, hi int64) int {
+	n := 0
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// ReferencePositions is the seed's branchy Positions.
+func ReferencePositions(vals []int64, lo, hi int64, out []uint32) []uint32 {
+	for i, v := range vals {
+		if v >= lo && v < hi {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}

@@ -35,21 +35,24 @@ func ParallelCountSum(vals []int64, lo, hi int64, parallelism int) (int, int64) 
 	parts := make([]partial, parallelism)
 	chunk := (len(vals) + parallelism - 1) / parallelism
 	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
+	for w := range parts {
 		a := w * chunk
 		b := a + chunk
 		if b > len(vals) {
 			b = len(vals)
 		}
-		if a >= b {
+		if a < 0 || a >= b {
 			break
 		}
+		// Slice and index outside the goroutine: bounds facts proved here
+		// don't cross the closure boundary.
+		sub := vals[a:b]
+		p := &parts[w]
 		wg.Add(1)
-		go func(w, a, b int) {
+		go func() {
 			defer wg.Done()
-			c, s := CountSum(vals[a:b], lo, hi)
-			parts[w].count, parts[w].sum = c, s
-		}(w, a, b)
+			p.count, p.sum = CountSum(sub, lo, hi)
+		}()
 	}
 	wg.Wait()
 	count, sum := 0, int64(0)
@@ -60,27 +63,39 @@ func ParallelCountSum(vals []int64, lo, hi int64, parallelism int) (int, int64) 
 	return count, sum
 }
 
-// CountSum returns the number and sum of values v with lo <= v < hi.
-// The inner loop is written without branches on the hot path so the compiler
-// can keep it tight; the sum doubles as a projection checksum so results can
-// be compared across select operator implementations.
-func CountSum(vals []int64, lo, hi int64) (count int, sum int64) {
-	for _, v := range vals {
-		if v >= lo && v < hi {
-			count++
-			sum += v
-		}
+// b2i returns 1 when b is true, 0 otherwise; the compiler lowers it to a
+// flag materialisation (SETcc on amd64), not a branch.
+func b2i(b bool) int {
+	if b {
+		return 1
 	}
-	return count, sum
+	return 0
 }
 
-// Count returns only the cardinality of the range predicate.
+// CountSum returns the number and sum of values v with lo <= v < hi.
+//
+// The inner loop is branch-free: the predicate is materialised as a 0/1 flag
+// and folded into the accumulators with mask arithmetic, so selectivities
+// near 50% — where a branch would mispredict every other element — cost the
+// same as 0% or 100%. The sum doubles as a projection checksum so results
+// can be compared across select operator implementations. ParallelCountSum
+// runs this same loop per chunk.
+func CountSum(vals []int64, lo, hi int64) (count int, sum int64) {
+	var c, s int64
+	for _, v := range vals {
+		in := -int64(b2i(v >= lo) & b2i(v < hi)) // all-ones when v qualifies
+		c -= in
+		s += v & in
+	}
+	return int(c), s
+}
+
+// Count returns only the cardinality of the range predicate. Branch-free,
+// same pattern as CountSum.
 func Count(vals []int64, lo, hi int64) int {
 	n := 0
 	for _, v := range vals {
-		if v >= lo && v < hi {
-			n++
-		}
+		n += b2i(v >= lo) & b2i(v < hi)
 	}
 	return n
 }
@@ -88,13 +103,45 @@ func Count(vals []int64, lo, hi int64) int {
 // Positions appends the row ids (positions in vals) of qualifying values to
 // out and returns it. It is the candidate-list producing variant used for
 // multi-predicate plans.
+//
+// Branch-free via the cursor trick: every iteration unconditionally writes
+// the current position into the next output slot, then advances the cursor
+// by the predicate flag — a non-qualifying write is simply overwritten by
+// the next candidate. The output is grown to worst case up front (no
+// allocation when out has the capacity) and trimmed to the cursor at the
+// end.
 func Positions(vals []int64, lo, hi int64, out []uint32) []uint32 {
-	for i, v := range vals {
-		if v >= lo && v < hi {
-			out = append(out, uint32(i))
-		}
+	n := len(vals)
+	base := len(out)
+	if cap(out)-base < n {
+		grown := make([]uint32, base+n)
+		copy(grown, out)
+		out = grown
+	} else {
+		out = out[:cap(out)]
 	}
-	return out
+	if base < 0 || base > len(out) {
+		return out[:0] // unreachable: both branches leave len(out) >= base+n
+	}
+	buf := out[base:]
+	k := 0
+	for i, v := range vals {
+		if uint(k) >= uint(len(buf)) {
+			break // unreachable: k <= i < n <= len(buf); BCE only
+		}
+		buf[k] = uint32(i)
+		k += b2i(v >= lo) & b2i(v < hi)
+	}
+	// Both clamps are unreachable (0 <= k <= n and len(out) >= base+n); they
+	// exist so the compiler can prove the final reslice in bounds.
+	end := base + k
+	if end < 0 {
+		end = 0
+	}
+	if end > len(out) {
+		end = len(out)
+	}
+	return out[:end]
 }
 
 // MinMax returns the smallest and largest value. Ok is false for empty input.

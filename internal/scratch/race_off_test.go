@@ -1,0 +1,5 @@
+//go:build !race
+
+package scratch
+
+const raceEnabled = false

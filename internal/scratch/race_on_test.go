@@ -1,0 +1,8 @@
+//go:build race
+
+package scratch
+
+// The race detector randomises sync.Pool behaviour (it deliberately drops
+// victims to widen schedules), so buffer-identity assertions are meaningless
+// under -race.
+const raceEnabled = true

@@ -92,6 +92,7 @@ import (
 	"sync/atomic"
 
 	"holistic/internal/column"
+	"holistic/internal/costmodel"
 	"holistic/internal/cracker"
 	"holistic/internal/scan"
 	"holistic/internal/sortindex"
@@ -131,6 +132,23 @@ type Config struct {
 	// IngestCap bounds a part's ingest queue: the writer whose enqueue
 	// crosses the cap pays an inline merge. <= 0 selects DefaultIngestCap.
 	IngestCap int
+	// RadixMinPiece is the radix-first coarse-cracking threshold handed to
+	// each part's cracker index. 0 selects costmodel.DefaultRadixMinPiece;
+	// < 0 disables radix-first cracking.
+	RadixMinPiece int
+}
+
+// radixMinPiece resolves Config.RadixMinPiece to the value the cracker
+// expects (<= 0 disables).
+func (c Config) radixMinPiece() int {
+	switch {
+	case c.RadixMinPiece < 0:
+		return 0
+	case c.RadixMinPiece == 0:
+		return costmodel.DefaultRadixMinPiece
+	default:
+		return c.RadixMinPiece
+	}
 }
 
 func (c Config) shards() int {
@@ -458,6 +476,7 @@ func (p *Part) crackIndexLocked() *cracker.Index {
 	if p.crack == nil {
 		vals, rows := p.liveSnapshotLocked()
 		p.crack = cracker.New(vals, rows)
+		p.crack.SetRadixMinPiece(p.cfg.radixMinPiece())
 		if v := p.cfg.Stochastic; v != stochastic.Plain {
 			seed := p.cfg.Seed ^ hashName(p.name)
 			rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))

@@ -7,9 +7,12 @@
 package sortindex
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"holistic/internal/column"
+	"holistic/internal/scratch"
 )
 
 // Index is a fully sorted index over one column.
@@ -140,8 +143,12 @@ func radixSortPairs(vals []int64, rows []uint32) {
 		comparisonSortPairs(vals, rows)
 		return
 	}
-	tmpV := make([]int64, n)
-	tmpR := make([]uint32, n)
+	// The double buffer comes from the scratch pool: repeated builds (the
+	// advisor's forced reviews, the ablation sweeps) reuse the same arrays
+	// instead of allocating 12n bytes per build.
+	buf := scratch.Get(n)
+	defer scratch.Put(buf)
+	tmpV, tmpR := buf.V, buf.R
 	var counts [radixBuckets]int
 	src, dst := vals, tmpV
 	srcR, dstR := rows, tmpR
@@ -176,19 +183,25 @@ func radixSortPairs(vals []int64, rows []uint32) {
 	}
 }
 
-// comparisonSortPairs sorts small inputs with the standard library.
+// pair is one (value, row id) element of the sort; sorting concrete pairs
+// lets slices.SortFunc (pdqsort, no interface indirection) move both halves
+// together instead of permuting an index slice through a closure.
+type pair struct {
+	v int64
+	r uint32
+}
+
+// comparisonSortPairs sorts vals ascending with rows in lockstep using the
+// slices pdqsort over concrete pairs. The order of rows among duplicate
+// values is unspecified, as before (sort.Slice was not stable either).
 func comparisonSortPairs(vals []int64, rows []uint32) {
-	idx := make([]int, len(vals))
-	for i := range idx {
-		idx[i] = i
+	ps := make([]pair, len(vals))
+	for i := range ps {
+		ps[i] = pair{v: vals[i], r: rows[i]}
 	}
-	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
-	outV := make([]int64, len(vals))
-	outR := make([]uint32, len(rows))
-	for i, j := range idx {
-		outV[i] = vals[j]
-		outR[i] = rows[j]
+	slices.SortFunc(ps, func(a, b pair) int { return cmp.Compare(a.v, b.v) })
+	for i, p := range ps {
+		vals[i] = p.v
+		rows[i] = p.r
 	}
-	copy(vals, outV)
-	copy(rows, outR)
 }
