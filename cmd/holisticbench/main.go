@@ -16,6 +16,8 @@
 //	holisticbench -exp writes -smoke               # tiny CI-sized write-path bench
 //	holisticbench -exp kernel                      # kernel microbench -> BENCH_kernel.json
 //	holisticbench -exp kernel -smoke               # tiny CI-sized kernel microbench
+//	holisticbench -exp recover                     # cold vs warm restart -> BENCH_recover.json
+//	holisticbench -exp recover -smoke              # tiny CI-sized restart bench
 //
 // The paper's scale is -n 100000000 -queries 10000 (needs ~6 GB and
 // patience); defaults are laptop-sized and preserve the curves' shape.
@@ -34,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|table1|table2|net|shard|writes|kernel|all")
+		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|table1|table2|net|shard|writes|kernel|recover|all")
 		n       = flag.Int("n", 1<<20, "rows per column")
 		queries = flag.Int("queries", 2000, "queries per run")
 		x       = flag.Int("x", 100, "refinement actions per idle window (fig3)")
@@ -315,6 +317,48 @@ func main() {
 			return err
 		}
 		fmt.Printf("kernel microbenchmarks written to %s\n", path)
+		return nil
+	})
+
+	// The restart benchmark is likewise explicit-only: it writes
+	// BENCH_recover.json and builds real data directories on disk.
+	runRecover := func(f func() error) {
+		if *exp != "recover" {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "recover: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	runRecover(func() error {
+		cfg := harness.RecoverBenchConfig{
+			N: *n, PrepQueries: *queries, Burst: *burstQ,
+			Selectivity: *sel, Seed: *seed,
+		}
+		if *smoke {
+			// CI-sized: recovery correctness and schema shape still hold,
+			// the cold/warm gap is merely smaller.
+			cfg.N, cfg.PrepQueries, cfg.Burst = 1<<17, 96, 24
+		}
+		res, err := harness.RunRecoverBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatRecoverBench(res))
+		path := *out
+		if path == "" {
+			path = "BENCH_recover.json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := harness.WriteRecoverBenchJSON(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("restart benchmark written to %s\n", path)
 		return nil
 	})
 

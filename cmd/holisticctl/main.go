@@ -16,10 +16,15 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
+	"net"
 	"os"
 	"sync"
+	"syscall"
 	"time"
 
 	"holistic/internal/harness"
@@ -29,19 +34,21 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7701", "holisticd address (host:port)")
+	retries := flag.Int("retries", 4, "retry transient dial/read failures this many times (exponential backoff + jitter)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
+	dial := dialer{addr: *addr, retries: *retries}
 	var err error
 	switch args[0] {
 	case "exec":
-		err = cmdExec(*addr, args[1:])
+		err = cmdExec(dial, args[1:])
 	case "stats":
-		err = cmdStats(*addr)
+		err = cmdStats(dial)
 	case "bench":
-		err = cmdBench(*addr, args[1:])
+		err = cmdBench(dial, args[1:])
 	default:
 		usage()
 	}
@@ -49,6 +56,71 @@ func main() {
 		fmt.Fprintf(os.Stderr, "holisticctl: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// dialer connects with retries: transient failures (connection refused or
+// reset, timeouts, unexpected EOF — a restarting or briefly overloaded
+// server) are retried with exponential backoff plus jitter so a fleet of
+// scripted clients does not reconnect in lockstep. Statement errors are
+// never retried; only transport-level failures are.
+type dialer struct {
+	addr    string
+	retries int
+}
+
+func (d dialer) dial() (*server.Client, error) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var c *server.Client
+		if c, err = server.Dial(d.addr); err == nil {
+			return c, nil
+		}
+		if attempt >= d.retries || !transient(err) {
+			return nil, err
+		}
+		sleepBackoff(attempt)
+	}
+}
+
+// retry runs op with a fresh connection, redialling and retrying when the
+// transport fails mid-operation.
+func (d dialer) retry(op func(c *server.Client) error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var c *server.Client
+		if c, err = d.dial(); err != nil {
+			return err
+		}
+		err = op(c)
+		c.Close()
+		if err == nil || attempt >= d.retries || !transient(err) {
+			return err
+		}
+		sleepBackoff(attempt)
+	}
+}
+
+// transient reports whether err is worth retrying: the class of failures a
+// server restart or drop produces, as opposed to a statement rejection.
+func transient(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// sleepBackoff sleeps 50ms·2^attempt plus up to 50% jitter, capped at 2s.
+func sleepBackoff(attempt int) {
+	backoff := 50 * time.Millisecond << attempt
+	if backoff > 2*time.Second {
+		backoff = 2 * time.Second
+	}
+	time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff/2)+1)))
 }
 
 func usage() {
@@ -62,8 +134,11 @@ commands:
 	os.Exit(2)
 }
 
-func cmdExec(addr string, stmts []string) error {
-	c, err := server.Dial(addr)
+// cmdExec retries the dial but never a statement: after a write has been
+// sent, a transport failure is ambiguous (it may have been applied), so
+// resending could double-apply it.
+func cmdExec(dial dialer, stmts []string) error {
+	c, err := dial.dial()
 	if err != nil {
 		return err
 	}
@@ -99,25 +174,24 @@ func cmdExec(addr string, stmts []string) error {
 	return sc.Err()
 }
 
-func cmdStats(addr string) error {
-	c, err := server.Dial(addr)
-	if err != nil {
-		return err
-	}
-	defer c.Close()
-	stats, err := c.Stats()
-	if err != nil {
-		return err
-	}
-	out, err := json.MarshalIndent(stats, "", "  ")
-	if err != nil {
-		return err
-	}
-	fmt.Println(string(out))
-	return nil
+func cmdStats(dial dialer) error {
+	// \stats is idempotent, so the whole operation retries, not just the
+	// dial.
+	return dial.retry(func(c *server.Client) error {
+		stats, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(stats, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	})
 }
 
-func cmdBench(addr string, args []string) error {
+func cmdBench(dial dialer, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
 		clients  = fs.Int("clients", 8, "concurrent client connections")
@@ -131,7 +205,7 @@ func cmdBench(addr string, args []string) error {
 	fs.Parse(args)
 
 	// One probe connection fetches before/after idle counters.
-	probe, err := server.Dial(addr)
+	probe, err := dial.dial()
 	if err != nil {
 		return err
 	}
@@ -153,7 +227,7 @@ func cmdBench(addr string, args []string) error {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			c, err := server.Dial(addr)
+			c, err := dial.dial()
 			if err != nil {
 				errsCh <- err
 				return

@@ -15,8 +15,17 @@
 // refinement, ramping up the longer the gap lasts. Watch it happen with
 // `holisticctl stats` or a `\stats` line.
 //
+// With -data-dir the daemon is durable: every admitted write is appended
+// to a statement log before it is acknowledged (fsync policy per -fsync),
+// the idle pool checkpoints the engine — data AND physical design, crack
+// trees included — into columnar snapshots, and a restart recovers from
+// the newest snapshot plus the log suffix, answering its first query with
+// the index refinement the previous process had already paid for. See
+// docs/durability.md.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
-// statements finish and flush their responses, then the process exits.
+// statements finish and flush their responses, pending write buffers are
+// merged, a final checkpoint is taken (durable mode), and the process exits.
 package main
 
 import (
@@ -34,6 +43,8 @@ import (
 	"holistic/internal/engine"
 	"holistic/internal/loadgate"
 	"holistic/internal/server"
+	"holistic/internal/snapshot"
+	"holistic/internal/wal"
 	"holistic/internal/workload"
 )
 
@@ -50,6 +61,9 @@ func main() {
 		shards  = flag.Int("shards", 1, "striped shards per column: selects fan out across them (<=1 = unsharded)")
 		maxIn   = flag.Int("max-inflight", server.DefaultMaxInFlight, "bounded admission: max statements in the system")
 		load    = flag.String("load", "", "preload spec: comma-separated table.col:n uniform columns, e.g. r.a:1000000,r.b:1000000")
+		dataDir = flag.String("data-dir", "", "durable mode: statement log + snapshots live here (empty = in-memory only)")
+		fsyncMd = flag.String("fsync", "interval", "statement-log fsync policy: always|interval|off")
+		connTO  = flag.Duration("conn-timeout", 0, "per-connection idle read deadline (0 = none)")
 		verbose = flag.Bool("v", false, "log connection-level events")
 	)
 	flag.Parse()
@@ -72,8 +86,49 @@ func main() {
 	})
 	defer eng.Close()
 
+	// Durable mode: recover the data directory into the (still empty)
+	// engine, then attach the store so every write is logged before it is
+	// acknowledged, and let checkpoints bid in the idle auction.
+	var store *snapshot.Store
+	recovered := false
+	if *dataDir != "" {
+		sync, err := wal.ParseSyncPolicy(*fsyncMd)
+		if err != nil {
+			log.Fatalf("holisticd: -fsync: %v", err)
+		}
+		var info snapshot.RecoveryInfo
+		store, info, err = snapshot.Open(nil, *dataDir, eng, snapshot.Config{
+			Policy:   wal.Policy{Sync: sync},
+			Shards:   eng.Shards(),
+			Strategy: st.String(),
+		})
+		if err != nil {
+			log.Fatalf("holisticd: -data-dir %s: %v", *dataDir, err)
+		}
+		eng.SetWriteLog(store)
+		eng.RegisterAux(&snapshot.CheckpointAction{Store: store, Logf: log.Printf})
+		recovered = info.SnapshotLoaded || info.Replayed > 0
+		switch {
+		case info.SnapshotLoaded:
+			log.Printf("holisticd: recovered %s: snapshot epoch %d + %d replayed statements (fsync=%s)",
+				*dataDir, info.Epoch, info.Replayed, sync)
+		case info.Replayed > 0:
+			log.Printf("holisticd: recovered %s: no snapshot, %d replayed statements (fsync=%s)",
+				*dataDir, info.Replayed, sync)
+		default:
+			log.Printf("holisticd: initialised empty data dir %s (fsync=%s)", *dataDir, sync)
+		}
+		if info.TornAt >= 0 {
+			log.Printf("holisticd: statement log had a torn tail at offset %d (truncated; unacknowledged writes only)", info.TornAt)
+		}
+	}
+
 	if *load != "" {
-		if err := preload(eng, *load, *seed); err != nil {
+		// Recovery already populated the catalog: re-seeding would collide
+		// with restored tables, so -load only applies to a cold data dir.
+		if recovered {
+			log.Printf("holisticd: -load skipped: data dir already holds the catalog")
+		} else if err := preload(eng, *load, *seed); err != nil {
 			log.Fatalf("holisticd: -load: %v", err)
 		}
 	}
@@ -86,6 +141,7 @@ func main() {
 		Engine:      eng,
 		Gate:        loadgate.New(),
 		MaxInFlight: *maxIn,
+		ConnTimeout: *connTO,
 		Logf:        logf,
 	})
 
@@ -101,11 +157,28 @@ func main() {
 			log.Fatalf("holisticd: serve: %v", err)
 		}
 	case s := <-sig:
+		// Shutdown ordering matters (docs/protocol.md): drain in-flight
+		// statements first (every acknowledged write is in the log), then
+		// merge pending write buffers so the final snapshot sees them,
+		// then checkpoint, then close the log.
 		log.Printf("holisticd: %v — draining in-flight statements", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("holisticd: forced shutdown: %v", err)
+		}
+		if store != nil {
+			if n := eng.MergePending(); n > 0 {
+				log.Printf("holisticd: merged %d pending write buffers", n)
+			}
+			if _, err := store.Checkpoint(); err != nil {
+				log.Printf("holisticd: final checkpoint failed (statement log remains authoritative): %v", err)
+			} else {
+				log.Printf("holisticd: checkpointed epoch %d", store.Epoch())
+			}
+			if err := store.Close(); err != nil {
+				log.Printf("holisticd: closing statement log: %v", err)
+			}
 		}
 	}
 	log.Printf("holisticd: bye")

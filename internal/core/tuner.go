@@ -143,6 +143,7 @@ type Tuner struct {
 
 	mu        sync.Mutex
 	shards    []*shard
+	aux       []*auxShard // registered maintenance actions (see aux.go)
 	rng       *rand.Rand
 	rr        int   // round-robin rotation cursor for rank ties
 	actions   int64 // refinement actions performed
@@ -151,6 +152,7 @@ type Tuner struct {
 	contended int64 // Steps that yielded because every candidate was claimed
 	merges    int64 // refinement actions that drained pending updates
 	mergedOps int64 // buffered operations applied by those merges
+	auxRuns   int64 // aux maintenance actions executed
 }
 
 // NewTuner builds a tuner around a shared workload collector. A nil
@@ -335,7 +337,8 @@ const (
 // latching inside the cracker.
 func (t *Tuner) TryStep() (work int, res StepResult) {
 	shards := t.snapshotShards()
-	if len(shards) == 0 {
+	aux := t.snapshotAux()
+	if len(shards) == 0 && len(aux) == 0 {
 		return 0, StepExhausted
 	}
 	t.mu.Lock()
@@ -348,7 +351,7 @@ func (t *Tuner) TryStep() (work int, res StepResult) {
 	// round-robin the paper's "No Knowledge" case needs. If the claim race
 	// is lost, rescan: the raced shard is busy now, so the next-best wins.
 	n := len(shards)
-	for attempt := 0; attempt < n; attempt++ {
+	for attempt := 0; attempt < n+len(aux); attempt++ {
 		var best *shard
 		bestScore := 0.0
 		bestMerge := false
@@ -389,7 +392,24 @@ func (t *Tuner) TryStep() (work int, res StepResult) {
 				best, bestScore, bestMerge = sh, s, merge
 			}
 		}
-		if best == nil {
+		// Aux maintenance actions (checkpoints) bid in the same auction:
+		// the best one competes with the best column action and the higher
+		// score wins the claim.
+		var bestAux *auxShard
+		for _, a := range aux {
+			s := a.act.Score()
+			if s <= 0 {
+				continue
+			}
+			refinable = true
+			if a.busy.Load() {
+				continue
+			}
+			if s > bestScore {
+				best, bestScore, bestAux = nil, s, a
+			}
+		}
+		if best == nil && bestAux == nil {
 			if !refinable {
 				return 0, StepExhausted
 			}
@@ -399,6 +419,19 @@ func (t *Tuner) TryStep() (work int, res StepResult) {
 			t.contended++
 			t.mu.Unlock()
 			return 0, StepContended
+		}
+		if bestAux != nil {
+			if !bestAux.busy.CompareAndSwap(false, true) {
+				continue // lost the claim race; rescan for the next best
+			}
+			w := bestAux.act.Run()
+			bestAux.busy.Store(false)
+			t.mu.Lock()
+			t.actions++
+			t.work += int64(w)
+			t.auxRuns++
+			t.mu.Unlock()
+			return w, StepWorked
 		}
 		if !best.busy.CompareAndSwap(false, true) {
 			continue // lost the claim race; rescan for the next best

@@ -122,6 +122,28 @@ func (p Params) MergeScore(frequency float64, pendingOps int) float64 {
 	return (1 + frequency) * float64(pendingOps) / p.target()
 }
 
+// DefaultSnapshotThreshold is the statement-log growth (bytes since the
+// last checkpoint) at which the snapshot action starts bidding for idle
+// slots. Below it a checkpoint would cost more than the replay it saves.
+const DefaultSnapshotThreshold = 1 << 20
+
+// SnapshotScore ranks taking a checkpoint against crack and merge actions
+// for the same idle slot. walBytes is the statement-log growth since the
+// last checkpoint; threshold <= 0 selects DefaultSnapshotThreshold. The
+// score is zero below the threshold — a near-empty log is cheap to replay,
+// so the slot is better spent refining — and grows linearly past it, so a
+// long-uncheckpointed engine eventually outbids any crack: recovery time is
+// bounded no matter how hot the workload keeps the columns.
+func SnapshotScore(walBytes, threshold int64) float64 {
+	if threshold <= 0 {
+		threshold = DefaultSnapshotThreshold
+	}
+	if walBytes < threshold {
+		return 0
+	}
+	return float64(walBytes) / float64(threshold)
+}
+
 // Candidate is one column considered by the ranking scheme.
 type Candidate struct {
 	Column       string

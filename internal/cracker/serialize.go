@@ -1,0 +1,54 @@
+package cracker
+
+import "fmt"
+
+// Boundary is one crack-tree entry in serializable form: the first position
+// in the cracked copy holding a value >= Key. The ordered boundary list plus
+// the cracked copy arrays are the index's complete physical state — what a
+// snapshot persists so a restart resumes with every paid-for refinement.
+type Boundary struct {
+	Key int64
+	Pos int
+}
+
+// Boundaries returns the crack-tree entries in ascending key order. Safe
+// under the shared latch.
+func (ix *Index) Boundaries() []Boundary {
+	ix.treeMu.RLock()
+	defer ix.treeMu.RUnlock()
+	bs := make([]Boundary, 0, ix.tree.Len())
+	ix.tree.Walk(func(key int64, pos int) bool {
+		bs = append(bs, Boundary{Key: key, Pos: pos})
+		return true
+	})
+	return bs
+}
+
+// RestoreIndex rebuilds a cracker index from a snapshot: the cracked copy
+// (vals, rows — adopted, not copied) and its boundary list in ascending key
+// order. It re-validates the structural invariants the tree cannot express —
+// monotone positions and per-piece value bounds — so a corrupted snapshot is
+// rejected here rather than silently producing wrong query results.
+func RestoreIndex(vals []int64, rows []uint32, bs []Boundary) (*Index, error) {
+	if len(vals) != len(rows) {
+		return nil, fmt.Errorf("cracker: restore vals/rows length mismatch %d != %d", len(vals), len(rows))
+	}
+	ix := New(vals, rows)
+	prevPos := 0
+	prevKey := int64(0)
+	for i, b := range bs {
+		if i > 0 && b.Key <= prevKey {
+			return nil, fmt.Errorf("cracker: restore boundary keys not ascending at %d", i)
+		}
+		if b.Pos < prevPos || b.Pos > len(vals) {
+			return nil, fmt.Errorf("cracker: restore boundary %d position %d out of order", b.Key, b.Pos)
+		}
+		ix.tree.Insert(b.Key, b.Pos)
+		prevPos, prevKey = b.Pos, b.Key
+	}
+	ix.cracks.Store(int64(len(bs)))
+	if err := ix.Validate(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}

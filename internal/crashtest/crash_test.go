@@ -1,0 +1,371 @@
+package crashtest
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"holistic/internal/engine"
+	"holistic/internal/snapshot"
+	"holistic/internal/wal"
+)
+
+// The harness re-execs the test binary as a child workload process: when
+// the mode env var is set, TestMain runs childMain instead of the tests.
+// The parent kills the child at arbitrary points (SIGKILL — no cleanup
+// runs) and then plays database: recover the data directory and check it
+// against the oracle.
+const (
+	envMode   = "HOLISTIC_CRASHTEST_MODE"
+	envDir    = "HOLISTIC_CRASHTEST_DIR"
+	envLedger = "HOLISTIC_CRASHTEST_LEDGER"
+	envStart  = "HOLISTIC_CRASHTEST_START"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(envMode) != "" {
+		os.Exit(childMain())
+	}
+	os.Exit(m.Run())
+}
+
+// The workload is deterministic, so any statement prefix has a computable
+// oracle: statement i inserts value i, except every fifth statement
+// (i%5 == 4), which deletes value i-1 — the value the previous statement
+// inserted, so the target always exists and values are never reused.
+func stmtIsDelete(i int) bool { return i%5 == 4 }
+
+// oracleAfter returns the live count and value sum after the first m
+// statements.
+func oracleAfter(m int) (count int, sum int64) {
+	for i := 0; i < m; i++ {
+		if stmtIsDelete(i) {
+			count--
+			sum -= int64(i - 1)
+		} else {
+			count++
+			sum += int64(i)
+		}
+	}
+	return count, sum
+}
+
+// childMain is the workload process: recover the data dir, then execute
+// statements from the start index, appending the statement's index to the
+// acked ledger only after the engine acknowledged it. Every statement is
+// durably logged before it is acked (fsync=always), so the recovered
+// state must cover every ledger entry. A graceful child drains on SIGTERM
+// the same way holisticd does: merge pending buffers, checkpoint, close
+// the log, and report what it saw in a marker file.
+func childMain() int {
+	dir := os.Getenv(envDir)
+	start, _ := strconv.Atoi(os.Getenv(envStart))
+
+	eng := engine.New(engine.Config{Strategy: engine.StrategyHolistic, Seed: 7})
+	store, _, err := snapshot.Open(nil, dir, eng, snapshot.Config{
+		Policy: wal.Policy{Sync: wal.SyncAlways},
+		Shards: eng.Shards(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child: open store: %v\n", err)
+		return 1
+	}
+	eng.SetWriteLog(store)
+
+	// Schema setup is idempotent: a kill mid-setup leaves any prefix of
+	// {createTable, addColumn} in the log, and the next run finishes it.
+	tb, err := eng.Table("t")
+	if err != nil {
+		if tb, err = eng.CreateTable("t"); err != nil {
+			fmt.Fprintf(os.Stderr, "child: create table: %v\n", err)
+			return 1
+		}
+	}
+	if len(tb.Columns()) == 0 {
+		if err := tb.AddColumnFromSlice("a", nil); err != nil {
+			fmt.Fprintf(os.Stderr, "child: add column: %v\n", err)
+			return 1
+		}
+	}
+	ledger, err := os.OpenFile(os.Getenv(envLedger), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child: ledger: %v\n", err)
+		return 1
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	lw := bufio.NewWriter(ledger)
+	for i := start; i < start+1_000_000; i++ {
+		select {
+		case <-sig:
+			return childShutdown(eng, store, i)
+		default:
+		}
+		if stmtIsDelete(i) {
+			ok, err := tb.DeleteWhere("a", int64(i-1))
+			if err != nil || !ok {
+				fmt.Fprintf(os.Stderr, "child: stmt %d delete: ok=%v err=%v\n", i, ok, err)
+				return 1
+			}
+		} else {
+			if _, err := tb.InsertRow(int64(i)); err != nil {
+				fmt.Fprintf(os.Stderr, "child: stmt %d insert: %v\n", i, err)
+				return 1
+			}
+		}
+		// Ack: the statement is durably logged; record it. SIGKILL loses
+		// no completed file writes (the page cache survives the process),
+		// so the flushed ledger is an exact record of acked statements.
+		fmt.Fprintf(lw, "%d\n", i)
+		if err := lw.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "child: ledger write: %v\n", err)
+			return 1
+		}
+		// Query now and then so a physical design accumulates — the warm
+		// restart assertions need crack pieces to carry over.
+		if i%64 == 63 {
+			lo := int64(i - 60)
+			if _, err := eng.Select("t", "a", lo, lo+40); err != nil {
+				fmt.Fprintf(os.Stderr, "child: stmt %d select: %v\n", i, err)
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// childShutdown is the graceful path, ordered like holisticd's SIGTERM
+// handler: merge pending buffers, checkpoint, close the log. The marker
+// file reports the statement count and piece count for the parent's
+// warm-restart assertions.
+func childShutdown(eng *engine.Engine, store *snapshot.Store, stmts int) int {
+	eng.MergePending()
+	// Crack the merged column before the final checkpoint: merges reset
+	// crack indexes (positions shift), so the design worth preserving is
+	// the one built on the final merged layout.
+	for _, q := range [][2]int64{{10, int64(stmts) / 3}, {int64(stmts) / 2, int64(stmts) - 5}} {
+		if _, err := eng.Select("t", "a", q[0], q[1]); err != nil {
+			fmt.Fprintf(os.Stderr, "child: shutdown crack select: %v\n", err)
+			return 1
+		}
+	}
+	if _, err := store.Checkpoint(); err != nil {
+		fmt.Fprintf(os.Stderr, "child: final checkpoint: %v\n", err)
+		return 1
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "child: close store: %v\n", err)
+		return 1
+	}
+	pieces, _, err := eng.PieceStats("t", "a")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child: piece stats: %v\n", err)
+		return 1
+	}
+	marker := fmt.Sprintf("stmts=%d pieces=%d\n", stmts, pieces)
+	if err := os.WriteFile(os.Getenv(envDir)+"/MARKER", []byte(marker), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "child: marker: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// spawnChild starts the workload process over dir from statement index
+// start and returns the running command plus its stderr buffer.
+func spawnChild(t *testing.T, dir, ledger string, start int) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	cmd := exec.Command(exe, "-test.run=NONE")
+	cmd.Env = append(os.Environ(),
+		envMode+"=workload",
+		envDir+"="+dir,
+		envLedger+"="+ledger,
+		envStart+"="+strconv.Itoa(start),
+	)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	return cmd, &stderr
+}
+
+// ledgerCount returns how many statements the child acked.
+func ledgerCount(t *testing.T, ledger string) int {
+	t.Helper()
+	b, err := os.ReadFile(ledger)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		t.Fatalf("read ledger: %v", err)
+	}
+	return strings.Count(string(b), "\n")
+}
+
+// recoverDir opens the data dir into a fresh engine and returns both; the
+// caller owns closing them.
+func recoverDir(t *testing.T, dir string) (*engine.Engine, *snapshot.Store, snapshot.RecoveryInfo) {
+	t.Helper()
+	eng := engine.New(engine.Config{Strategy: engine.StrategyHolistic, Seed: 7})
+	store, info, err := snapshot.Open(nil, dir, eng, snapshot.Config{
+		Policy: wal.Policy{Sync: wal.SyncAlways},
+		Shards: eng.Shards(),
+	})
+	if err != nil {
+		eng.Close()
+		t.Fatalf("recover %s: %v", dir, err)
+	}
+	return eng, store, info
+}
+
+// stateOf answers (live count, value sum) for the whole domain. A kill
+// during schema setup leaves no queryable column yet; that state is the
+// empty prefix, not an error.
+func stateOf(t *testing.T, eng *engine.Engine) (int, int64) {
+	t.Helper()
+	res, err := eng.Select("t", "a", 0, 1<<40)
+	switch {
+	case err == nil:
+		return res.Count, res.Sum
+	case errors.Is(err, engine.ErrNoTable) || errors.Is(err, engine.ErrNoColumn):
+		return 0, 0
+	default:
+		t.Fatalf("oracle select: %v", err)
+		return 0, 0
+	}
+}
+
+// TestCrashRecoveryOracle kills the workload at arbitrary points, recovers,
+// and requires the state to be EXACTLY a statement prefix: at least every
+// acked statement (durability — nothing acked is lost, nothing applied
+// twice), at most one statement more (the single in-flight statement a
+// crash may or may not have persisted).
+func TestCrashRecoveryOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash rounds are not -short material")
+	}
+	root := t.TempDir()
+	dir := filepath.Join(root, "data")
+	ledger := filepath.Join(root, "ledger")
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+
+	start := 0
+	for round := 0; round < 4; round++ {
+		cmd, stderr := spawnChild(t, dir, ledger, start)
+		// Let the child get some statements in, then kill it mid-flight.
+		time.Sleep(time.Duration(10+rng.Intn(80)) * time.Millisecond)
+		cmd.Process.Signal(syscall.SIGKILL)
+		cmd.Wait()
+		if s := stderr.String(); s != "" {
+			t.Fatalf("round %d: child reported errors before the kill:\n%s", round, s)
+		}
+
+		// Even with zero new acks this round, recovery must run: the one
+		// in-flight statement may have landed, and the next child must
+		// start after it or it would apply twice.
+		acked := ledgerCount(t, ledger)
+		if acked < start {
+			t.Fatalf("round %d: ledger shrank (%d acked, started at %d)", round, acked, start)
+		}
+		eng, store, _ := recoverDir(t, dir)
+		count, sum := stateOf(t, eng)
+		matched := -1
+		for _, m := range []int{acked, acked + 1} {
+			if c, s := oracleAfter(m); c == count && s == sum {
+				matched = m
+				break
+			}
+		}
+		if matched < 0 {
+			ac, as := oracleAfter(acked)
+			t.Fatalf("round %d: recovered (count=%d sum=%d) matches neither %d acked statements (want count=%d sum=%d) nor %d",
+				round, count, sum, acked, ac, as, acked+1)
+		}
+		t.Logf("round %d: %d acked, recovered state = %d statements", round, acked, matched)
+		store.Close()
+		eng.Close()
+
+		// Sync the ledger to the resolved prefix so the next round's child
+		// continues exactly where the recovered state ends.
+		var sb strings.Builder
+		for i := 0; i < matched; i++ {
+			fmt.Fprintf(&sb, "%d\n", i)
+		}
+		if err := os.WriteFile(ledger, []byte(sb.String()), 0o644); err != nil {
+			t.Fatalf("rewrite ledger: %v", err)
+		}
+		start = matched
+	}
+	if start == 0 {
+		t.Fatalf("no round survived long enough to ack a statement; kill delays too short")
+	}
+}
+
+// TestGracefulShutdownWarmRestart drives the workload, stops it with
+// SIGTERM (drain → merge → checkpoint → close), and requires the restart
+// to (a) match the oracle exactly — a graceful stop has no in-flight
+// statement — (b) replay zero WAL records, and (c) still hold the crack
+// pieces the first process earned, so the first query runs at refined
+// speed without re-cracking.
+func TestGracefulShutdownWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process rounds are not -short material")
+	}
+	root := t.TempDir()
+	dir := filepath.Join(root, "data")
+	ledger := filepath.Join(root, "ledger")
+
+	cmd, stderr := spawnChild(t, dir, ledger, 0)
+	// Give it time to build state and crack (selects fire every 64 stmts).
+	time.Sleep(300 * time.Millisecond)
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("graceful child exited badly: %v\n%s", err, stderr.String())
+	}
+
+	marker, err := os.ReadFile(filepath.Join(dir, "MARKER"))
+	if err != nil {
+		t.Fatalf("child wrote no shutdown marker: %v\n%s", err, stderr.String())
+	}
+	var stmts, pieces int
+	if _, err := fmt.Sscanf(string(marker), "stmts=%d pieces=%d", &stmts, &pieces); err != nil {
+		t.Fatalf("bad marker %q: %v", marker, err)
+	}
+	if stmts < 100 || pieces < 2 {
+		t.Fatalf("child did too little to test warmth: %s", marker)
+	}
+
+	eng, store, info := recoverDir(t, dir)
+	defer eng.Close()
+	defer store.Close()
+	if !info.SnapshotLoaded || info.Replayed != 0 {
+		t.Fatalf("graceful restart should be pure snapshot: %+v", info)
+	}
+	count, sum := stateOf(t, eng)
+	if c, s := oracleAfter(stmts); c != count || s != sum {
+		t.Fatalf("recovered (count=%d sum=%d), oracle after %d statements wants (%d, %d)", count, sum, stmts, c, s)
+	}
+	got, _, err := eng.PieceStats("t", "a")
+	if err != nil {
+		t.Fatalf("PieceStats: %v", err)
+	}
+	if got < pieces {
+		t.Fatalf("physical design lost across graceful restart: %d pieces, child had %d", got, pieces)
+	}
+}

@@ -1,0 +1,11 @@
+// Package crashtest holds the kill/restart recovery oracle: integration
+// tests that re-exec the test binary as a workload child process, SIGKILL
+// it at arbitrary points, recover the surviving data directory, and verify
+// the result against a deterministic oracle — every acknowledged statement
+// present, nothing applied twice, and at most the single in-flight
+// statement's fate undecided. A companion test stops the child with
+// SIGTERM and asserts the graceful path (drain, merge, checkpoint, close)
+// restarts warm: zero log replay and the crack pieces the previous process
+// earned still in place. The package has no non-test exports; it exists to
+// host the harness.
+package crashtest

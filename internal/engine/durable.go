@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"holistic/internal/column"
+	"holistic/internal/shard"
+)
+
+// ErrReadOnly marks writes rejected because the durability layer has
+// degraded: the statement log can no longer persist mutations, so the
+// engine stops admitting them rather than diverge memory from disk. The
+// server surfaces it as a structured wire error; reads keep working.
+var ErrReadOnly = errors.New("engine: read-only mode, durability degraded")
+
+// WriteLog is the engine's durability hook. When attached via SetWriteLog,
+// every mutation is logged BEFORE it is acknowledged; a non-nil error
+// aborts the statement (inserts are logged before their row ids are
+// committed, so a failed log burns nothing). Implementations wrap
+// persistent failures with ErrReadOnly to flip the engine read-only.
+//
+// Records are logical, not textual: deletes carry the row ids the
+// statement resolved, because DeleteWhere's "first live row" resolution
+// depends on interleaving and replaying by value could pick a different
+// row on a multi-column table.
+type WriteLog interface {
+	// LogCreateTable records a CREATE TABLE.
+	LogCreateTable(table string) error
+	// LogAddColumn records a column load with its full contents.
+	LogAddColumn(table, col string, vals []int64) error
+	// LogInsert records an insert batch starting at row id first. It is
+	// called with the table's id mutex held: calls arrive in row-id order.
+	LogInsert(table string, first uint32, rows [][]int64) error
+	// LogDelete records the resolved global row ids one DELETE removed.
+	// It is called with the table lock held exclusively, after the rows
+	// were tombstoned: a failed log leaves the (unacknowledged) deletes
+	// applied in memory, which recovery treats as an in-flight statement.
+	LogDelete(table string, rows []uint32) error
+}
+
+// SetWriteLog attaches the durability hook. Call once at boot, before the
+// engine serves any traffic.
+func (e *Engine) SetWriteLog(wl WriteLog) { e.wlog = wl }
+
+// ReadOnly reports whether the attached write log has degraded — the
+// engine is rejecting mutations with ErrReadOnly.
+func (e *Engine) ReadOnly() bool {
+	if d, ok := e.wlog.(interface{ Degraded() bool }); ok {
+		return d.Degraded()
+	}
+	return false
+}
+
+// TableState is one table's serializable state: the column order plus each
+// column's per-shard physical snapshot (storage, tombstones, crack
+// boundaries, sorted indexes — see shard.ColumnSnapshot).
+type TableState struct {
+	Name    string
+	Order   []string
+	Live    int64
+	Columns []shard.ColumnSnapshot
+}
+
+// EngineState is the full catalog in serializable form, tables sorted by
+// name.
+type EngineState struct {
+	Tables []TableState
+}
+
+// CaptureState deep-copies the whole catalog at a consistent cut. It holds
+// every table's lock exclusively (writers hold at most one table lock, and
+// each logs and applies entirely inside it, so under all locks every logged
+// statement is fully applied and nothing is in flight), drains all pending
+// buffers, and invokes cut — the caller reads the WAL offset there, binding
+// the state to exactly the log prefix it covers. The copies are
+// deep: serialization can proceed after the locks drop.
+func (e *Engine) CaptureState(cut func()) (EngineState, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := e.tables[name]
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	if cut != nil {
+		cut()
+	}
+	st := EngineState{Tables: make([]TableState, 0, len(names))}
+	for _, name := range names {
+		t := e.tables[name]
+		ts := TableState{
+			Name:  name,
+			Order: append([]string(nil), t.order...),
+			Live:  t.live.Load(),
+		}
+		for _, cname := range t.order {
+			snap, err := t.cols[cname].sc.Snapshot()
+			if err != nil {
+				return EngineState{}, err
+			}
+			ts.Columns = append(ts.Columns, snap)
+		}
+		st.Tables = append(st.Tables, ts)
+	}
+	return st, nil
+}
+
+// RestoreState rebuilds the catalog from a captured state: tables,
+// columns, per-shard crack trees and sorted indexes, row-id allocators and
+// live counters — the warm start that answers its first query without
+// re-cracking. The engine must be empty; the shard count of the current
+// configuration must match the snapshot's (validated per column).
+func (e *Engine) RestoreState(st EngineState) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.tables) != 0 {
+		return fmt.Errorf("engine: RestoreState on a non-empty catalog")
+	}
+	for _, ts := range st.Tables {
+		t := &Table{name: ts.Name, eng: e, cols: map[string]*colState{}}
+		if len(ts.Columns) != len(ts.Order) {
+			return fmt.Errorf("engine: restore %s: %d column snapshots for %d columns", ts.Name, len(ts.Columns), len(ts.Order))
+		}
+		for i, cname := range ts.Order {
+			sc, err := shard.NewColumnFromSnapshot(ts.Columns[i], e.shardConfig())
+			if err != nil {
+				return err
+			}
+			qname := ts.Name + "." + cname
+			if sc.Name() != qname {
+				return fmt.Errorf("engine: restore %s: snapshot names column %q", qname, sc.Name())
+			}
+			cs := &colState{name: qname, eng: e, sc: sc}
+			t.cols[cname] = cs
+			t.order = append(t.order, cname)
+			if i == 0 {
+				t.rows.Store(int64(sc.Rows()))
+			}
+			e.registerColumn(cs, sc.Rows())
+		}
+		t.live.Store(ts.Live)
+		e.tables[ts.Name] = t
+	}
+	return nil
+}
+
+// registerColumn hooks a (new or restored) column into the strategy's
+// monitoring machinery. Callers hold e.mu.
+func (e *Engine) registerColumn(cs *colState, rows int) {
+	switch e.cfg.Strategy {
+	case StrategyOnline:
+		e.advisor.Register(cs.name, rows)
+		if cs.hasSorted() {
+			e.advisor.SetIndexed(cs.name, true)
+		}
+	case StrategyHolistic:
+		for _, p := range cs.sc.Parts() {
+			lo, hi, ok := p.MinMax()
+			if !ok {
+				lo, hi = 0, 1
+			}
+			e.tuner.Register(p, lo, hi)
+		}
+	}
+}
+
+// ReplayCreateTable re-applies a logged CREATE TABLE without re-logging.
+func (e *Engine) ReplayCreateTable(name string) error {
+	_, err := e.createTable(name, false)
+	return err
+}
+
+// ReplayAddColumn re-applies a logged column load without re-logging.
+func (e *Engine) ReplayAddColumn(table, col string, vals []int64) error {
+	t, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.addColumnFromSlice(col, vals, false)
+}
+
+// ReplayInsert re-applies a logged insert batch. Rows below the table's
+// current high-water mark are already covered by the snapshot the replay
+// started from and are skipped, so a record straddling the snapshot cut
+// (possible only with an interval-fsync'd log) never double-inserts.
+func (e *Engine) ReplayInsert(table string, first uint32, rows [][]int64) error {
+	t, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cur := t.rows.Load()
+	if int64(first) > cur {
+		return fmt.Errorf("engine: replay insert at row %d but table %s has only %d rows (log gap)", first, table, cur)
+	}
+	for i, vals := range rows {
+		g := int64(first) + int64(i)
+		if g < cur {
+			continue
+		}
+		if len(vals) != len(t.order) {
+			return fmt.Errorf("%w: replay insert of %d values into %d columns", ErrLengthMismatch, len(vals), len(t.order))
+		}
+		if g >= int64(column.MaxRows) {
+			return column.ErrTooLarge
+		}
+		t.rows.Store(g + 1)
+		cur = g + 1
+		for j, name := range t.order {
+			t.cols[name].sc.AppendAt(uint32(g), vals[j])
+		}
+		t.live.Add(1)
+	}
+	return nil
+}
+
+// ReplayDeleteRows re-applies a logged delete by its resolved row ids.
+func (e *Engine) ReplayDeleteRows(table string, rows []uint32) error {
+	t, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, g := range rows {
+		if int64(g) >= t.rows.Load() {
+			return fmt.Errorf("engine: replay delete of unknown row %d in %s", g, table)
+		}
+		for _, name := range t.order {
+			t.cols[name].sc.DeleteRow(g)
+		}
+		t.live.Add(-1)
+	}
+	return nil
+}

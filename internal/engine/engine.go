@@ -158,6 +158,11 @@ type Engine struct {
 	advisor   *monitor.Advisor // online strategy only
 	tuner     *core.Tuner      // holistic strategy only
 	runner    *idle.Runner     // holistic strategy only
+
+	// wlog, when attached (SetWriteLog), is the durability hook: every
+	// mutation is logged through it before being acknowledged. Set once at
+	// boot, before the engine serves traffic.
+	wlog WriteLog
 }
 
 // New builds an engine with the given configuration.
@@ -252,6 +257,16 @@ func (e *Engine) Shards() int {
 // strategies).
 func (e *Engine) Tuner() *core.Tuner { return e.tuner }
 
+// RegisterAux adds a maintenance action (e.g. the checkpointer) to the
+// holistic tuner's auction, so it runs on the idle pool, ranked against
+// crack and merge refinements and gated by the load gate. No-op for
+// strategies without a tuner — such engines checkpoint only on shutdown.
+func (e *Engine) RegisterAux(a core.AuxAction) {
+	if e.tuner != nil {
+		e.tuner.RegisterAux(a)
+	}
+}
+
 // SetLoadGate attaches an external load signal (internal/loadgate) to the
 // automatic idle worker pool: while the gate reports requests in flight the
 // pool fully yields, and every refinement step takes an atomic token from
@@ -318,10 +333,19 @@ func (e *Engine) MergePending() int {
 
 // CreateTable registers a new, empty table.
 func (e *Engine) CreateTable(name string) (*Table, error) {
+	return e.createTable(name, true)
+}
+
+func (e *Engine) createTable(name string, logIt bool) (*Table, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.tables[name]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableExists, name)
+	}
+	if logIt && e.wlog != nil {
+		if err := e.wlog.LogCreateTable(name); err != nil {
+			return nil, err
+		}
 	}
 	t := &Table{name: name, eng: e, cols: map[string]*colState{}}
 	e.tables[name] = t

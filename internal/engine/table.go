@@ -29,6 +29,14 @@ type Table struct {
 	order []string     // column order for row-wise operations
 	rows  atomic.Int64 // total rows ever inserted (including deleted)
 	live  atomic.Int64 // live (non-deleted) rows
+
+	// idMu serializes row-id reservation with the write-ahead log append
+	// when a WriteLog is attached: ids are reserved and logged inside one
+	// critical section, so WAL order equals row-id order and a failed log
+	// burns no ids (a burned id would be a permanent gap that stalls the
+	// contiguous-prefix ingest drain). Without a WriteLog the lock-free
+	// fetch-add path is unchanged.
+	idMu sync.Mutex
 }
 
 // Name returns the table name.
@@ -163,6 +171,10 @@ func (cs *colState) pendingCounts() (ins, del int) {
 // monitoring machinery — per part for the holistic tuner, so every shard is
 // an independent refinement target.
 func (t *Table) AddColumnFromSlice(name string, vals []int64) error {
+	return t.addColumnFromSlice(name, vals, true)
+}
+
+func (t *Table) addColumnFromSlice(name string, vals []int64, logIt bool) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.cols[name]; ok {
@@ -171,6 +183,12 @@ func (t *Table) AddColumnFromSlice(name string, vals []int64) error {
 	if len(t.order) > 0 && int64(len(vals)) != t.rows.Load() {
 		return fmt.Errorf("%w: %s.%s has %d values, table has %d rows",
 			ErrLengthMismatch, t.name, name, len(vals), t.rows.Load())
+	}
+	if logIt && t.eng.wlog != nil {
+		// Log before adopting vals: the record carries the full contents.
+		if err := t.eng.wlog.LogAddColumn(t.name, name, vals); err != nil {
+			return err
+		}
 	}
 	// Domain bounds for histogram registration, before vals is adopted.
 	lo, hi, ok := scan.MinMax(vals)
@@ -223,7 +241,44 @@ func (t *Table) InsertRow(vals ...int64) (uint32, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	defer t.eng.writeBegin()()
+	if t.eng.wlog != nil {
+		return t.insertBatchDurable([][]int64{vals})
+	}
 	return t.insertRowLocked(vals)
+}
+
+// insertBatchDurable is the log-first insert path under a held shared table
+// lock: row ids are reserved and the batch logged inside the id mutex (WAL
+// order == row-id order; a failed log reserves nothing), then the rows are
+// enqueued. Concurrent batches may interleave their enqueues — the ingest
+// queues key by row id and drain in dense order regardless.
+func (t *Table) insertBatchDurable(rows [][]int64) (uint32, error) {
+	for _, vals := range rows {
+		if len(vals) != len(t.order) {
+			return 0, fmt.Errorf("%w: insert of %d values into %d columns",
+				ErrLengthMismatch, len(vals), len(t.order))
+		}
+	}
+	t.idMu.Lock()
+	r := t.rows.Load()
+	if r+int64(len(rows)) > int64(column.MaxRows) {
+		t.idMu.Unlock()
+		return 0, column.ErrTooLarge
+	}
+	if err := t.eng.wlog.LogInsert(t.name, uint32(r), rows); err != nil {
+		t.idMu.Unlock()
+		return 0, err
+	}
+	t.rows.Add(int64(len(rows)))
+	t.idMu.Unlock()
+	for i, vals := range rows {
+		g := uint32(r + int64(i))
+		for j, name := range t.order {
+			t.cols[name].sc.AppendAt(g, vals[j])
+		}
+	}
+	t.live.Add(int64(len(rows)))
+	return uint32(r), nil
 }
 
 // insertRowLocked appends one row under a held shared table lock.
@@ -255,6 +310,9 @@ func (t *Table) InsertRows(rows [][]int64) (uint32, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	defer t.eng.writeBegin()()
+	if t.eng.wlog != nil {
+		return t.insertBatchDurable(rows)
+	}
 	first, err := t.insertRowLocked(rows[0])
 	if err != nil {
 		return 0, err
@@ -277,7 +335,30 @@ func (t *Table) DeleteWhere(col string, value int64) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	defer t.eng.writeBegin()()
-	return t.deleteWhereLocked(col, value)
+	row, ok, err := t.deleteWhereLocked(col, value)
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		if lerr := t.logDeleteLocked([]uint32{row}); lerr != nil {
+			return true, lerr
+		}
+	}
+	return ok, nil
+}
+
+// logDeleteLocked records a delete's resolved row ids, after they were
+// tombstoned under the held exclusive table lock (resolution of later
+// values in a batch depends on earlier deletes being visible, so deletes
+// cannot be log-first the way inserts are). WAL order still equals apply
+// order — nothing else writes while the exclusive lock is held. On a log
+// failure the unacknowledged deletes stay applied in memory; recovery
+// treats them as the one in-flight statement a crash may lose.
+func (t *Table) logDeleteLocked(rows []uint32) error {
+	if t.eng.wlog == nil || len(rows) == 0 {
+		return nil
+	}
+	return t.eng.wlog.LogDelete(t.name, rows)
 }
 
 // DeleteWhereIn removes, for each value in values, the first live row whose
@@ -289,33 +370,39 @@ func (t *Table) DeleteWhereIn(col string, values []int64) (int, error) {
 	defer t.mu.Unlock()
 	defer t.eng.writeBegin()()
 	deleted := 0
+	resolved := make([]uint32, 0, len(values))
 	for _, v := range values {
-		ok, err := t.deleteWhereLocked(col, v)
+		row, ok, err := t.deleteWhereLocked(col, v)
 		if err != nil {
 			return deleted, err
 		}
 		if ok {
 			deleted++
+			resolved = append(resolved, row)
 		}
+	}
+	if err := t.logDeleteLocked(resolved); err != nil {
+		return deleted, err
 	}
 	return deleted, nil
 }
 
-// deleteWhereLocked deletes under a held exclusive table lock.
-func (t *Table) deleteWhereLocked(col string, value int64) (bool, error) {
+// deleteWhereLocked deletes under a held exclusive table lock, returning
+// the resolved global row id.
+func (t *Table) deleteWhereLocked(col string, value int64) (uint32, bool, error) {
 	cs, ok := t.cols[col]
 	if !ok {
-		return false, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, col)
+		return 0, false, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.name, col)
 	}
 	row, found := cs.sc.FirstLive(value)
 	if !found {
-		return false, nil
+		return 0, false, nil
 	}
 	for _, name := range t.order {
 		t.cols[name].sc.DeleteRow(row)
 	}
 	t.live.Add(-1)
-	return true, nil
+	return row, true, nil
 }
 
 // MergePending drains every column's ingest queues into the index

@@ -1,0 +1,271 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"holistic/internal/engine"
+	"holistic/internal/snapshot"
+	"holistic/internal/wal"
+	"holistic/internal/workload"
+)
+
+// RecoverBenchConfig configures the restart benchmark: how expensive is the
+// first query burst after a restart, cold (statement-log replay only — the
+// data comes back, the physical design does not) versus warm (snapshot
+// recovery — crack trees and sorted state restored, so the burst starts at
+// the refinement level the previous process had already paid for)?
+type RecoverBenchConfig struct {
+	// N is the number of uniform rows in the benchmark column.
+	N int
+	// PrepQueries is how many range selects the first life runs to build a
+	// physical design before the restart.
+	PrepQueries int
+	// Burst is the first-burst query count measured after each restart.
+	Burst int
+	// Selectivity of every range query.
+	Selectivity float64
+	// Seed makes data and query sequences reproducible; both restarts
+	// replay the identical burst.
+	Seed uint64
+	// Dir is where the benchmark's data directories live; empty selects a
+	// fresh temp directory, removed afterwards.
+	Dir string
+}
+
+func (c *RecoverBenchConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 1 << 20
+	}
+	if c.PrepQueries <= 0 {
+		c.PrepQueries = 512
+	}
+	if c.Burst <= 0 {
+		c.Burst = 64
+	}
+	if c.Selectivity <= 0 {
+		c.Selectivity = 0.01
+	}
+}
+
+// RecoverRun is one restart measurement. The JSON field names are the
+// contract docs/bench_recover.schema.json validates.
+type RecoverRun struct {
+	Mode string `json:"mode"` // "cold" or "warm"
+	// OpenMS is the recovery time: opening the data dir until the engine
+	// is ready to serve (snapshot load and/or statement-log replay).
+	OpenMS float64 `json:"open_ms"`
+	// Replayed is how many statement-log records recovery replayed.
+	Replayed int `json:"replayed"`
+	// SnapshotLoaded records whether a snapshot was restored.
+	SnapshotLoaded bool `json:"snapshot_loaded"`
+	// PiecesAtStart is the crack-piece count before the first query — the
+	// restored physical design (1 = none).
+	PiecesAtStart int `json:"pieces_at_start"`
+	// FirstBurstMS is the wall-clock time of the whole first burst.
+	FirstBurstMS float64 `json:"first_burst_ms"`
+	// FirstQueryUS is the first query alone — the paper's headline number:
+	// cold pays the first crack of a virgin column, warm does not.
+	FirstQueryUS int64 `json:"first_query_us"`
+	P50US        int64 `json:"p50_us"`
+	P99US        int64 `json:"p99_us"`
+}
+
+// RecoverBenchResult is the machine-readable outcome of RunRecoverBench,
+// serialised to BENCH_recover.json.
+type RecoverBenchResult struct {
+	Bench       string     `json:"bench"`
+	N           int        `json:"n"`
+	PrepQueries int        `json:"prep_queries"`
+	Burst       int        `json:"burst"`
+	Seed        uint64     `json:"seed"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	Cores       int        `json:"cores"`
+	Cold        RecoverRun `json:"cold"`
+	Warm        RecoverRun `json:"warm"`
+	// WarmSpeedup is cold first-burst time over warm first-burst time.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// WarmLECold records the acceptance condition: the warm first burst is
+	// no slower than the cold one (the restored design must only help).
+	WarmLECold bool `json:"warm_le_cold"`
+	// PiecesRestored records that the warm restart began with more crack
+	// pieces than the cold one — the design actually carried over.
+	PiecesRestored bool `json:"pieces_restored"`
+	// OracleOK: both restarts answered the identical burst identically.
+	OracleOK bool `json:"oracle_ok"`
+}
+
+// RunRecoverBench prepares two durable data directories with identical
+// data — one checkpointed (warm), one log-only (cold) — then restarts from
+// each and measures recovery time and the first query burst.
+func RunRecoverBench(cfg RecoverBenchConfig) (*RecoverBenchResult, error) {
+	cfg.defaults()
+	root := cfg.Dir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "holistic-recoverbench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+
+	vals := workload.UniformData(cfg.Seed^0xbeef, cfg.N, 1, int64(cfg.N)+1)
+	res := &RecoverBenchResult{
+		Bench:       "recover",
+		N:           cfg.N,
+		PrepQueries: cfg.PrepQueries,
+		Burst:       cfg.Burst,
+		Seed:        cfg.Seed,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Cores:       runtime.NumCPU(),
+	}
+
+	// First life, run twice into separate dirs: identical data and prep
+	// workload, but only the warm dir checkpoints before closing. The cold
+	// dir restarts from pure statement-log replay, so the values survive
+	// but the cracks do not — the restart re-cracks from scratch.
+	for _, mode := range []string{"cold", "warm"} {
+		if err := prepareDir(cfg, root+"/"+mode, vals, mode == "warm"); err != nil {
+			return nil, fmt.Errorf("recoverbench: prepare %s: %w", mode, err)
+		}
+	}
+
+	coldAnswers, err := restartAndBurst(cfg, root+"/cold", &res.Cold, "cold")
+	if err != nil {
+		return nil, err
+	}
+	warmAnswers, err := restartAndBurst(cfg, root+"/warm", &res.Warm, "warm")
+	if err != nil {
+		return nil, err
+	}
+
+	res.OracleOK = len(coldAnswers) == len(warmAnswers)
+	for i := 0; res.OracleOK && i < len(coldAnswers); i++ {
+		res.OracleOK = coldAnswers[i] == warmAnswers[i]
+	}
+	if !res.OracleOK {
+		return nil, fmt.Errorf("recoverbench: cold and warm restarts answered the same burst differently")
+	}
+	if res.Warm.FirstBurstMS > 0 {
+		res.WarmSpeedup = res.Cold.FirstBurstMS / res.Warm.FirstBurstMS
+	}
+	res.WarmLECold = res.Warm.FirstBurstMS <= res.Cold.FirstBurstMS
+	res.PiecesRestored = res.Warm.PiecesAtStart > res.Cold.PiecesAtStart
+	return res, nil
+}
+
+// prepareDir is the first life: seed the column through the durable write
+// path, crack it with the prep workload, and close — checkpointing first
+// when warm is set.
+func prepareDir(cfg RecoverBenchConfig, dir string, vals []int64, warm bool) error {
+	eng := engine.New(engine.Config{Strategy: engine.StrategyHolistic, Seed: cfg.Seed})
+	defer eng.Close()
+	store, _, err := snapshot.Open(nil, dir, eng, snapshot.Config{
+		Policy: wal.Policy{Sync: wal.SyncOff}, // prep speed; durability is not under test here
+		Shards: eng.Shards(),
+	})
+	if err != nil {
+		return err
+	}
+	eng.SetWriteLog(store)
+	tab, err := eng.CreateTable("r")
+	if err != nil {
+		return err
+	}
+	if err := tab.AddColumnFromSlice("a", append([]int64(nil), vals...)); err != nil {
+		return err
+	}
+	gen := workload.NewUniform("r", "a", 1, int64(cfg.N)+1, cfg.Selectivity, cfg.Seed)
+	for i := 0; i < cfg.PrepQueries; i++ {
+		q := gen.Next()
+		if _, err := eng.Select("r", "a", q.Lo, q.Hi); err != nil {
+			return err
+		}
+	}
+	if warm {
+		eng.MergePending()
+		if _, err := store.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return store.Close()
+}
+
+// restartAndBurst is the second life: open the dir (timed), then run the
+// measured first burst. It returns the burst's answers for the cross-mode
+// oracle check.
+func restartAndBurst(cfg RecoverBenchConfig, dir string, run *RecoverRun, mode string) ([][2]int64, error) {
+	run.Mode = mode
+	eng := engine.New(engine.Config{Strategy: engine.StrategyHolistic, Seed: cfg.Seed})
+	defer eng.Close()
+	t0 := time.Now()
+	store, info, err := snapshot.Open(nil, dir, eng, snapshot.Config{
+		Policy: wal.Policy{Sync: wal.SyncOff},
+		Shards: eng.Shards(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("recoverbench: %s restart: %w", mode, err)
+	}
+	defer store.Close()
+	run.OpenMS = float64(time.Since(t0).Microseconds()) / 1000
+	run.Replayed = info.Replayed
+	run.SnapshotLoaded = info.SnapshotLoaded
+	if run.PiecesAtStart, _, err = eng.PieceStats("r", "a"); err != nil {
+		return nil, err
+	}
+
+	// The identical burst both modes replay: same generator, same seed.
+	gen := workload.NewUniform("r", "a", 1, int64(cfg.N)+1, cfg.Selectivity, cfg.Seed^0xfeed)
+	answers := make([][2]int64, 0, cfg.Burst)
+	lats := make([]time.Duration, 0, cfg.Burst)
+	burstStart := time.Now()
+	for i := 0; i < cfg.Burst; i++ {
+		q := gen.Next()
+		qt := time.Now()
+		r, err := eng.Select("r", "a", q.Lo, q.Hi)
+		if err != nil {
+			return nil, err
+		}
+		lat := time.Since(qt)
+		lats = append(lats, lat)
+		if i == 0 {
+			run.FirstQueryUS = lat.Microseconds()
+		}
+		answers = append(answers, [2]int64{int64(r.Count), r.Sum})
+	}
+	run.FirstBurstMS = float64(time.Since(burstStart).Microseconds()) / 1000
+	p50, _, p99, _ := LatencyProfile(lats)
+	run.P50US = p50.Microseconds()
+	run.P99US = p99.Microseconds()
+	return answers, nil
+}
+
+// WriteRecoverBenchJSON serialises the result as indented JSON — the
+// BENCH_recover.json format the CI schema check validates.
+func WriteRecoverBenchJSON(w io.Writer, res *RecoverBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// FormatRecoverBench renders the benchmark as a two-row comparison.
+func FormatRecoverBench(res *RecoverBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Restart benchmark: %d rows, %d prep queries, first burst of %d, GOMAXPROCS=%d, cores=%d\n",
+		res.N, res.PrepQueries, res.Burst, res.GOMAXPROCS, res.Cores)
+	fmt.Fprintf(&b, "%-5s %9s %9s %8s %10s %12s %10s %10s\n",
+		"mode", "open", "replayed", "pieces", "1st query", "first burst", "p50", "p99")
+	for _, r := range []RecoverRun{res.Cold, res.Warm} {
+		fmt.Fprintf(&b, "%-5s %7.1fms %9d %8d %8dµs %10.1fms %8dµs %8dµs\n",
+			r.Mode, r.OpenMS, r.Replayed, r.PiecesAtStart, r.FirstQueryUS, r.FirstBurstMS, r.P50US, r.P99US)
+	}
+	fmt.Fprintf(&b, "warm/cold: %.2fx first-burst speedup; pieces restored: %v; identical answers: %v\n",
+		res.WarmSpeedup, res.PiecesRestored, res.OracleOK)
+	return b.String()
+}

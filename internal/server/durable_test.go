@@ -1,0 +1,103 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"holistic/internal/engine"
+)
+
+// degradedLog is a WriteLog that can be tripped into the sticky degraded
+// state, failing writes the way internal/snapshot does: with the engine's
+// read-only sentinel in the error chain.
+type degradedLog struct{ broken bool }
+
+func (d *degradedLog) err() error {
+	if d.broken {
+		return engine.ErrReadOnly
+	}
+	return nil
+}
+func (d *degradedLog) Degraded() bool                             { return d.broken }
+func (d *degradedLog) LogCreateTable(string) error                { return d.err() }
+func (d *degradedLog) LogAddColumn(string, string, []int64) error { return d.err() }
+func (d *degradedLog) LogInsert(string, uint32, [][]int64) error  { return d.err() }
+func (d *degradedLog) LogDelete(string, []uint32) error           { return d.err() }
+
+// TestServerReadOnlyCode: when the durability layer degrades, writes get a
+// structured "read_only" error code, reads keep serving, and \stats
+// reports the degraded flag.
+func TestServerReadOnlyCode(t *testing.T) {
+	wlog := &degradedLog{}
+	srv, addr, _ := startServer(t, engine.Config{Strategy: engine.StrategyAdaptive, Seed: 1}, 1000, nil)
+	srv.eng.SetWriteLog(wlog)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Healthy: writes succeed.
+	if resp, err := c.Exec("insert into r values (42)"); err != nil || !resp.OK {
+		t.Fatalf("healthy insert failed: %+v %v", resp, err)
+	}
+
+	wlog.broken = true
+	resp, err := c.Exec("insert into r values (43)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != CodeReadOnly {
+		t.Fatalf("degraded insert = %+v, want code %q", resp, CodeReadOnly)
+	}
+	// Reads still serve.
+	if resp, err := c.Exec("select a from r where a >= 1 and a < 100"); err != nil || !resp.OK {
+		t.Fatalf("read on degraded server failed: %+v %v", resp, err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Degraded {
+		t.Fatalf("stats.Degraded = false on a degraded server")
+	}
+}
+
+// TestServerConnTimeout: a silent connection is closed after the idle read
+// deadline while an active one keeps serving.
+func TestServerConnTimeout(t *testing.T) {
+	_, addr, _ := startServer(t, engine.Config{Strategy: engine.StrategyScan, Seed: 1}, 100, func(cfg *Config) {
+		cfg.ConnTimeout = 150 * time.Millisecond
+	})
+	idle, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	active, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer active.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		// The active session keeps talking and must survive.
+		if resp, err := active.Exec(`\ping`); err != nil || !resp.OK {
+			t.Fatalf("active session dropped: %+v %v", resp, err)
+		}
+		// The idle one should be disconnected: its next read reports EOF.
+		idle.conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		buf := make([]byte, 1)
+		if _, err := idle.conn.Read(buf); err != nil {
+			var ne interface{ Timeout() bool }
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue // not yet dropped, keep waiting
+			}
+			return // EOF/reset: server closed the idle connection
+		}
+	}
+	t.Fatalf("idle connection never timed out")
+}

@@ -2,8 +2,10 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"strings"
 
+	"holistic/internal/engine"
 	"holistic/internal/loadgate"
 	"holistic/internal/sqlmini"
 )
@@ -23,8 +25,10 @@ type Request struct {
 
 // Response is the server's answer to one Request. OK distinguishes the two
 // shapes: on success Kind tells which result fields are meaningful (they
-// mirror sqlmini.Result); on failure only Error is set. ElapsedUS is the
-// server-side execution time in microseconds, excluding queue wait.
+// mirror sqlmini.Result); on failure Error carries the message and Code,
+// when set, a machine-readable class (currently only CodeReadOnly) so
+// clients can react without parsing prose. ElapsedUS is the server-side
+// execution time in microseconds, excluding queue wait.
 type Response struct {
 	ID        int64  `json:"id,omitempty"`
 	OK        bool   `json:"ok"`
@@ -35,6 +39,7 @@ type Response struct {
 	Matched   bool   `json:"matched,omitempty"`
 	ElapsedUS int64  `json:"elapsed_us,omitempty"`
 	Error     string `json:"error,omitempty"`
+	Code      string `json:"code,omitempty"`
 	// Stats carries the payload of a \stats command.
 	Stats *Stats `json:"stats,omitempty"`
 	// Pieces/AvgPiece carry the payload of a \pieces command.
@@ -42,8 +47,14 @@ type Response struct {
 	AvgPiece float64 `json:"avg_piece,omitempty"`
 }
 
+// CodeReadOnly is the Response.Code of writes refused because the
+// durability layer degraded after persistent I/O failure; reads still
+// serve. Clients should stop writing and alert an operator, not retry.
+const CodeReadOnly = "read_only"
+
 // Stats is the server-side observability payload of the \stats command:
-// the load gate's traffic counters plus server totals.
+// the load gate's traffic counters plus server totals. Degraded mirrors
+// the engine's read-only state (see CodeReadOnly).
 type Stats struct {
 	Gate        loadgate.Stats `json:"gate"`
 	Connections int64          `json:"connections"`
@@ -51,6 +62,7 @@ type Stats struct {
 	Overloaded  int64          `json:"overloaded"`
 	IdleActions int64          `json:"idle_actions"`
 	Strategy    string         `json:"strategy"`
+	Degraded    bool           `json:"degraded,omitempty"`
 }
 
 // parseRequest decodes one wire line. A line starting with '{' is a JSON
@@ -81,7 +93,12 @@ func okResponse(id int64, r *sqlmini.Result) Response {
 	}
 }
 
-// errResponse builds a failure response.
+// errResponse builds a failure response, classifying known error kinds
+// into machine-readable codes.
 func errResponse(id int64, err error) Response {
-	return Response{ID: id, OK: false, Error: err.Error()}
+	resp := Response{ID: id, OK: false, Error: err.Error()}
+	if errors.Is(err, engine.ErrReadOnly) {
+		resp.Code = CodeReadOnly
+	}
+	return resp
 }

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -63,6 +64,10 @@ type Config struct {
 	// MaxInFlight bounds admitted statements; <= 0 selects
 	// DefaultMaxInFlight.
 	MaxInFlight int
+	// ConnTimeout, when positive, is the per-connection idle read
+	// deadline: a session that sends nothing for this long is closed, so
+	// abandoned peers cannot pin connection state forever.
+	ConnTimeout time.Duration
 	// Logf, when non-nil, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 }
@@ -70,10 +75,11 @@ type Config struct {
 // Server serves the sqlmini wire protocol over TCP. Use New, then Serve or
 // ListenAndServe; Shutdown stops it gracefully.
 type Server struct {
-	eng   *engine.Engine
-	gate  *loadgate.Gate
-	logf  func(string, ...any)
-	admit chan struct{}
+	eng         *engine.Engine
+	gate        *loadgate.Gate
+	logf        func(string, ...any)
+	admit       chan struct{}
+	connTimeout time.Duration
 
 	mu     sync.Mutex
 	lis    net.Listener
@@ -110,11 +116,12 @@ func New(cfg Config) *Server {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		eng:   cfg.Engine,
-		gate:  gate,
-		logf:  logf,
-		admit: make(chan struct{}, maxInFlight),
-		conns: map[net.Conn]struct{}{},
+		eng:         cfg.Engine,
+		gate:        gate,
+		logf:        logf,
+		admit:       make(chan struct{}, maxInFlight),
+		connTimeout: cfg.ConnTimeout,
+		conns:       map[net.Conn]struct{}{},
 	}
 }
 
@@ -238,7 +245,14 @@ func (s *Server) session(conn net.Conn) {
 		conn.Close()
 		s.wg.Done()
 	}()
-	sc := bufio.NewScanner(conn)
+	var src io.Reader = conn
+	if s.connTimeout > 0 {
+		// Refresh the idle deadline before every read: a peer that goes
+		// quiet for connTimeout is disconnected. Shutdown's past-deadline
+		// nudge still wins — a blocked Read does not re-arm.
+		src = deadlineReader{conn: conn, d: s.connTimeout}
+	}
+	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 4096), MaxLineBytes)
 	bw := bufio.NewWriter(conn)
 	respond := func(resp Response) bool {
@@ -278,10 +292,26 @@ func (s *Server) session(conn net.Conn) {
 		// request id.
 		respond(errResponse(0, fmt.Errorf("request line exceeds %d bytes", MaxLineBytes)))
 	default:
-		if !s.isClosed() {
+		var ne net.Error
+		switch {
+		case s.isClosed():
+		case errors.As(err, &ne) && ne.Timeout():
+			s.logf("session %s: idle for %v, closing", conn.RemoteAddr(), s.connTimeout)
+		default:
 			s.logf("session %s: read: %v", conn.RemoteAddr(), err)
 		}
 	}
+}
+
+// deadlineReader arms the connection's idle read deadline before each read.
+type deadlineReader struct {
+	conn net.Conn
+	d    time.Duration
+}
+
+func (r deadlineReader) Read(p []byte) (int, error) {
+	r.conn.SetReadDeadline(time.Now().Add(r.d))
+	return r.conn.Read(p)
 }
 
 // execute runs one request through admission, the load gate and the engine.
@@ -336,6 +366,7 @@ func (s *Server) command(id int64, stmt string) Response {
 			Overloaded:  s.overloaded.Load(),
 			IdleActions: s.eng.AutoIdleActions(),
 			Strategy:    s.eng.Strategy().String(),
+			Degraded:    s.eng.ReadOnly(),
 		}}
 	case `\pieces`:
 		if len(fields) != 3 {

@@ -475,15 +475,22 @@ func (p *Part) Cracked() *cracker.Index { return p.crack }
 func (p *Part) crackIndexLocked() *cracker.Index {
 	if p.crack == nil {
 		vals, rows := p.liveSnapshotLocked()
-		p.crack = cracker.New(vals, rows)
-		p.crack.SetRadixMinPiece(p.cfg.radixMinPiece())
-		if v := p.cfg.Stochastic; v != stochastic.Plain {
-			seed := p.cfg.Seed ^ hashName(p.name)
-			rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
-			p.selector = stochastic.NewSelector(p.crack, v, p.cfg.StochasticThreshold, rng)
-		}
+		p.attachCrackLocked(cracker.New(vals, rows))
 	}
 	return p.crack
+}
+
+// attachCrackLocked adopts ix as the part's cracker index, applying the
+// configured radix threshold and stochastic selector. Used by lazy
+// materialisation and by snapshot restore.
+func (p *Part) attachCrackLocked(ix *cracker.Index) {
+	ix.SetRadixMinPiece(p.cfg.radixMinPiece())
+	p.crack = ix
+	if v := p.cfg.Stochastic; v != stochastic.Plain {
+		seed := p.cfg.Seed ^ hashName(p.name)
+		rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+		p.selector = stochastic.NewSelector(p.crack, v, p.cfg.StochasticThreshold, rng)
+	}
 }
 
 // liveSnapshotLocked copies the merged, non-tombstoned rows paired with

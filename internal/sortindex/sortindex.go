@@ -8,6 +8,7 @@ package sortindex
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 	"sort"
 
@@ -42,6 +43,22 @@ func BuildComparison(vals []int64, rows []uint32) *Index {
 func FromColumn(c *column.Column) *Index {
 	vals, rows := c.Snapshot()
 	return Build(vals, rows)
+}
+
+// FromSorted adopts already-sorted slices — the restore path for a snapshot
+// that persisted a built index, skipping the full re-sort a cold build pays.
+// It verifies ascending order (O(n), the price of not trusting the disk) and
+// rejects unsorted input rather than serving wrong binary-search answers.
+func FromSorted(vals []int64, rows []uint32) (*Index, error) {
+	if len(vals) != len(rows) {
+		return nil, fmt.Errorf("sortindex: vals/rows length mismatch %d != %d", len(vals), len(rows))
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			return nil, fmt.Errorf("sortindex: restore input not sorted at %d", i)
+		}
+	}
+	return &Index{vals: vals, rows: rows}, nil
 }
 
 // Len returns the number of indexed values.
