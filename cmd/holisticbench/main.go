@@ -18,6 +18,8 @@
 //	holisticbench -exp kernel -smoke               # tiny CI-sized kernel microbench
 //	holisticbench -exp recover                     # cold vs warm restart -> BENCH_recover.json
 //	holisticbench -exp recover -smoke              # tiny CI-sized restart bench
+//	holisticbench -exp predict                     # predictive idle bench -> BENCH_predict.json
+//	holisticbench -exp predict -smoke              # tiny CI-sized predictive bench
 //
 // The paper's scale is -n 100000000 -queries 10000 (needs ~6 GB and
 // patience); defaults are laptop-sized and preserve the curves' shape.
@@ -36,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|table1|table2|net|shard|writes|kernel|recover|all")
+		exp     = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|table1|table2|net|shard|writes|kernel|recover|predict|all")
 		n       = flag.Int("n", 1<<20, "rows per column")
 		queries = flag.Int("queries", 2000, "queries per run")
 		x       = flag.Int("x", 100, "refinement actions per idle window (fig3)")
@@ -359,6 +361,67 @@ func main() {
 			return err
 		}
 		fmt.Printf("restart benchmark written to %s\n", path)
+		return nil
+	})
+
+	// The predictive idle scheduling benchmark is likewise explicit-only: it
+	// writes BENCH_predict.json, and the first-query-after-gap comparison
+	// deserves a quiet machine.
+	runPredict := func(f func() error) {
+		if *exp != "predict" {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	runPredict(func() error {
+		cfg := harness.PredictBenchConfig{
+			Seed: *seed, IdleWorkers: *workers,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n":
+				cfg.N = *n
+			case "clients":
+				cfg.Clients = *clients
+			case "bursts":
+				cfg.Bursts = *bursts
+			case "burst-q":
+				cfg.QueriesPerBurst = *burstQ
+			case "gap":
+				cfg.Gap = *gap
+			case "target":
+				cfg.TargetPieceSize = *target
+			}
+		})
+		if *smoke {
+			// CI-sized: the forecast still needs three warmup epochs, so keep
+			// enough bursts for a post-warmup median; the latency contrast is
+			// merely smaller.
+			cfg.N, cfg.Clients, cfg.Bursts = 1<<19, 2, 6
+			cfg.QueriesPerBurst, cfg.Gap = 16, 60*time.Millisecond
+			cfg.TargetPieceSize = 1 << 15
+		}
+		res, err := harness.RunPredictBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatPredictBench(res))
+		path := *out
+		if path == "" {
+			path = "BENCH_predict.json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := harness.WritePredictBenchJSON(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("predictive idle benchmark written to %s\n", path)
 		return nil
 	})
 

@@ -35,6 +35,7 @@ import (
 
 	"holistic/internal/costmodel"
 	"holistic/internal/cracker"
+	"holistic/internal/forecast"
 	"holistic/internal/stats"
 )
 
@@ -64,6 +65,14 @@ type Config struct {
 	HotBoost int
 	// Seed seeds the tuner's private RNG for reproducible runs.
 	Seed uint64
+	// Predict enables the forecast-driven speculative pre-crack layer (see
+	// predict.go): NoteQuery additionally feeds a forecaster, and
+	// TrySpeculativeStep pre-cracks ranges predicted to be hot next.
+	Predict bool
+	// PredictEpoch is the forecaster's epoch length in observed queries.
+	// <= 0 selects forecast.DefaultEpochQueries. Benchmarks align it with
+	// their burst size so one burst closes exactly one epoch.
+	PredictEpoch int
 }
 
 func (c Config) hotThreshold() float64 {
@@ -140,6 +149,7 @@ type Tuner struct {
 	cfg       Config
 	model     costmodel.Params
 	collector *stats.Collector
+	fc        *forecast.Forecaster // nil unless Config.Predict (see predict.go)
 
 	mu        sync.Mutex
 	shards    []*shard
@@ -153,6 +163,11 @@ type Tuner struct {
 	merges    int64 // refinement actions that drained pending updates
 	mergedOps int64 // buffered operations applied by those merges
 	auxRuns   int64 // aux maintenance actions executed
+
+	specActions int64                    // speculative pre-crack actions performed
+	specWork    int64                    // elements touched by speculative actions
+	specWins    int64                    // speculated ranges later hit by a query
+	specRanges  map[string][]stats.Range // recent speculated ranges per column
 }
 
 // NewTuner builds a tuner around a shared workload collector. A nil
@@ -161,12 +176,16 @@ func NewTuner(cfg Config, collector *stats.Collector) *Tuner {
 	if collector == nil {
 		collector = stats.NewCollector()
 	}
-	return &Tuner{
+	t := &Tuner{
 		cfg:       cfg,
 		model:     costmodel.Params{TargetPieceSize: cfg.TargetPieceSize},
 		collector: collector,
 		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5DEECE66D)),
 	}
+	if cfg.Predict {
+		t.fc = forecast.New(forecast.Config{EpochQueries: cfg.PredictEpoch})
+	}
+	return t
 }
 
 // Collector returns the workload statistics collector the tuner consults.
@@ -194,12 +213,19 @@ func (t *Tuner) Register(c Column, domLo, domHi int64) {
 	if !t.collector.Registered(c.Name()) {
 		t.collector.Register(c.Name(), domLo, domHi)
 	}
+	if t.fc != nil && !t.fc.Registered(c.Name()) {
+		t.fc.Register(c.Name(), domLo, domHi)
+	}
 }
 
 // NoteQuery records a range query for monitoring. The engine calls it for
 // every select the holistic strategy serves.
 func (t *Tuner) NoteQuery(col string, lo, hi int64) {
 	t.collector.RecordQuery(col, lo, hi)
+	if t.fc != nil {
+		t.fc.Observe(col, lo, hi)
+		t.noteSpecWin(col, lo, hi)
+	}
 }
 
 // SeedWorkload injects a-priori workload knowledge: weight synthetic
@@ -210,6 +236,12 @@ func (t *Tuner) NoteQuery(col string, lo, hi int64) {
 func (t *Tuner) SeedWorkload(col string, lo, hi int64, weight int) {
 	for i := 0; i < weight; i++ {
 		t.collector.RecordQuery(col, lo, hi)
+	}
+	if t.fc != nil {
+		// One weighted observation: seeding expresses mass, not a stream of
+		// distinct arrivals, so it advances the forecaster's epoch clock by
+		// a single query.
+		t.fc.ObserveWeighted(col, lo, hi, float64(weight))
 	}
 }
 

@@ -137,6 +137,18 @@ type Config struct {
 	// 0 selects costmodel.DefaultRadixMinPiece; < 0 disables radix-first
 	// cracking entirely.
 	RadixMinPiece int
+	// Predict enables forecast-driven speculative pre-cracking (holistic
+	// only): once reactive refinement has drained, idle workers pre-crack
+	// the ranges the forecaster (internal/forecast) predicts the next
+	// queries will hit, capped per traffic gap by SpecBudget. See
+	// core.TrySpeculativeStep for the discipline.
+	Predict bool
+	// SpecBudget caps speculative attempts per traffic gap. <= 0 selects
+	// idle.DefaultSpecBudget. Only meaningful with Predict.
+	SpecBudget int
+	// PredictEpoch is the forecaster's epoch length in observed queries.
+	// <= 0 selects the forecast default. Only meaningful with Predict.
+	PredictEpoch int
 }
 
 // Result is the outcome of one select: the projection's cardinality and sum
@@ -178,6 +190,8 @@ func New(cfg Config) *Engine {
 			HotThreshold:    cfg.HotThreshold,
 			HotBoost:        cfg.HotBoost,
 			Seed:            cfg.Seed,
+			Predict:         cfg.Predict,
+			PredictEpoch:    cfg.PredictEpoch,
 		}, e.collector)
 		opts := []idle.Option{}
 		if cfg.IdleQuiet > 0 {
@@ -196,6 +210,15 @@ func New(cfg Config) *Engine {
 			_, res := e.tuner.TryStep()
 			return res == core.StepWorked
 		}, opts...)
+		if cfg.Predict {
+			// Speculative drain: charged against the per-gap budget only
+			// after the real step above reports exhaustion (see
+			// idle.Runner.SetSpeculative).
+			e.runner.SetSpeculative(func() bool {
+				_, res := e.tuner.TrySpeculativeStep()
+				return res == core.StepWorked
+			}, cfg.SpecBudget)
+		}
 		if cfg.AutoIdle {
 			e.runner.Start()
 		}
@@ -242,6 +265,8 @@ func (e *Engine) shardConfig() shard.Config {
 		Seed:                e.cfg.Seed,
 		IngestCap:           e.cfg.IngestCap,
 		RadixMinPiece:       e.cfg.RadixMinPiece,
+		Predict:             e.cfg.Predict,
+		SpecBudget:          e.cfg.SpecBudget,
 	}
 }
 
@@ -290,6 +315,36 @@ func (e *Engine) AutoIdleActions() int64 {
 		return 0
 	}
 	return e.runner.Actions()
+}
+
+// ForecastStats is the operator-facing snapshot of the predictive idle
+// scheduling layer: budget state, realised speculation counters and the
+// current per-column forecast.
+type ForecastStats struct {
+	Enabled      bool                  `json:"enabled"`
+	SpecBudget   int                   `json:"spec_budget"`
+	SpecSpentGap int64                 `json:"spec_spent_gap"`
+	SpecActions  int64                 `json:"spec_actions"`
+	SpecWork     int64                 `json:"spec_work"`
+	SpecWins     int64                 `json:"spec_wins"`
+	Columns      []core.ColumnForecast `json:"columns,omitempty"`
+}
+
+// ForecastStats snapshots the predictive layer, or nil when speculation is
+// disabled (non-holistic strategy or Config.Predict unset).
+func (e *Engine) ForecastStats() *ForecastStats {
+	if e.tuner == nil || !e.tuner.Predictive() || e.runner == nil {
+		return nil
+	}
+	return &ForecastStats{
+		Enabled:      true,
+		SpecBudget:   e.runner.SpecBudget(),
+		SpecSpentGap: e.runner.SpecSpent(),
+		SpecActions:  e.tuner.SpecActions(),
+		SpecWork:     e.tuner.SpecWork(),
+		SpecWins:     e.tuner.SpecWins(),
+		Columns:      e.tuner.ForecastSummary(),
+	}
 }
 
 // writeBegin announces a write to the idle pool — writes count as query

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSpeculativeStepNeverStartsAfterQueryAdmitted is the engine-level
+// rendezvous proof for speculation: with reactive work drained and a
+// confident forecast pending, a query admitted inside the idle worker's
+// claim window must veto the speculative step before it can start, and no
+// speculative budget may be consumed. Once the query completes, the same
+// speculative work runs — proving the earlier zero was the veto, not
+// exhaustion.
+func TestSpeculativeStepNeverStartsAfterQueryAdmitted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(701, 702))
+	const epoch = 8
+	vals := randomVals(rng, 1<<15, 1<<20)
+	e := newEngineWithData(t, Config{
+		Strategy:        StrategyHolistic,
+		Seed:            31,
+		TargetPieceSize: 4096,
+		Shards:          2,
+		Predict:         true,
+		PredictEpoch:    epoch,
+		SpecBudget:      8,
+	}, vals)
+	defer e.Close()
+
+	// Train a stationary forecast: three closed epochs per part give full
+	// confidence, and the selects' reactive cracking gives the tuner real
+	// work to drain first.
+	for i := 0; i < 3*epoch; i++ {
+		if _, err := e.Select("R", "A", 100000, 101000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, part := range []string{"R.A#0", "R.A#1"} {
+		if conf := e.tuner.Forecaster().Confidence(part); conf != 1 {
+			t.Fatalf("confidence(%s) = %f after stationary training, want 1", part, conf)
+		}
+	}
+	// Drain reactive refinement through the manual-injection path, which
+	// never touches the speculative budget.
+	for i := 0; i < 100; i++ {
+		if actions, _ := e.IdleActions(256); actions == 0 {
+			break
+		}
+	}
+
+	// Rendezvous: a query arrives between the worker's idle check and its
+	// token grant — the speculative path must never be reached.
+	e.runner.SetClaimHook(func() { e.runner.QueryBegin() })
+	if ran := e.runner.RunActions(5); ran != 0 {
+		t.Fatalf("%d idle actions ran against an admitted query", ran)
+	}
+	if spent := e.runner.SpecSpent(); spent != 0 {
+		t.Fatalf("speculative budget spent against an admitted query: %d", spent)
+	}
+	if got := e.tuner.SpecActions(); got != 0 {
+		t.Fatalf("speculative actions ran against an admitted query: %d", got)
+	}
+	e.runner.SetClaimHook(nil)
+	e.runner.QueryEnd()
+
+	// The gap is real now: the pending speculative work runs, capped by the
+	// per-gap budget.
+	e.runner.RunActions(100)
+	if got := e.runner.SpecActions(); got == 0 {
+		t.Fatal("no speculative work after the query completed — the veto test proved nothing")
+	}
+	if spent, budget := e.runner.SpecSpent(), e.runner.SpecBudget(); spent > int64(budget) {
+		t.Fatalf("speculative budget overrun: spent %d of %d", spent, budget)
+	}
+	fs := e.ForecastStats()
+	if fs == nil || !fs.Enabled || fs.SpecActions == 0 {
+		t.Fatalf("ForecastStats = %+v, want enabled with speculative actions", fs)
+	}
+	if len(fs.Columns) != 2 {
+		t.Fatalf("ForecastStats.Columns has %d entries, want one per part", len(fs.Columns))
+	}
+}
+
+// TestSpeculationNeverLosesAdversarial drives the forecaster with its worst
+// case — a hot range teleporting at least a quarter of the domain every
+// burst, so no learned drift is ever right — and proves the never-lose
+// properties: every select stays oracle-exact, and speculation never spends
+// more than its per-gap budget. Runs at 1 and 8 shards; the race detector
+// covers the concurrent claim paths.
+func TestSpeculationNeverLosesAdversarial(t *testing.T) {
+	const (
+		n       = 1 << 15
+		domain  = int64(1 << 20)
+		bursts  = 6
+		qpb     = 16
+		budget  = 4
+		hotSpan = int64(4096)
+	)
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(uint64(shards)*811, 812))
+			vals := randomVals(rng, n, domain)
+			e := newEngineWithData(t, Config{
+				Strategy:        StrategyHolistic,
+				Seed:            37,
+				TargetPieceSize: 1024,
+				Shards:          shards,
+				Predict:         true,
+				PredictEpoch:    qpb,
+				SpecBudget:      budget,
+			}, vals)
+			defer e.Close()
+
+			hot := domain / 8
+			for b := 0; b < bursts; b++ {
+				for q := 0; q < qpb; q++ {
+					lo := hot + rng.Int64N(hotSpan/4)
+					hi := lo + hotSpan
+					r, err := e.Select("R", "A", lo, hi)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wc, ws := naiveRange(vals, lo, hi)
+					if r.Count != wc || r.Sum != ws {
+						t.Fatalf("burst %d query %d [%d,%d): got %d/%d want %d/%d",
+							b, q, lo, hi, r.Count, r.Sum, wc, ws)
+					}
+				}
+				// Traffic gap: idle workers drain reactive work, then at most
+				// `budget` speculative attempts.
+				e.runner.RunActions(256)
+				if spent := e.runner.SpecSpent(); spent > budget {
+					t.Fatalf("burst %d: speculative budget overrun, spent %d of %d", b, spent, budget)
+				}
+				// Teleport: jump at least a quarter of the domain, wrapping.
+				hot = (hot + domain/4 + rng.Int64N(domain/4)) % (domain - hotSpan)
+			}
+			// The cap held on every gap; totals stay bounded by construction.
+			if total := e.runner.SpecSpent(); total > budget {
+				t.Fatalf("final gap spent %d of %d", total, budget)
+			}
+		})
+	}
+}

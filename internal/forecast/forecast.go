@@ -1,0 +1,451 @@
+// Package forecast predicts where the query workload is going, turning the
+// idle pool's traffic-gap harvesting from reactive to anticipatory (ROADMAP
+// item 4; the shape follows Predictive Indexing, Arulraj et al., and Learned
+// Adaptive Indexing, Das & Ray — see PAPERS.md). internal/stats already
+// answers "where were queries?" with decayed range histograms; this package
+// answers "where will they be next?" with a deliberately lightweight linear
+// drift model over the same per-column bucketed stream:
+//
+//   - observations accumulate into a fixed-size bucket histogram and close
+//     into an epoch every EpochQueries queries; epoch masses are normalised,
+//     so only the *shape* of the workload matters (scaling every observation
+//     weight by a constant leaves predictions unchanged — the metamorphic
+//     property the tests pin);
+//   - per-bucket trend is an EWMA of normalised-mass deltas between epochs,
+//     sharpening predictions toward a moving range's leading edge;
+//   - drift velocity is an EWMA of the hot-mass centroid's movement per
+//     epoch (in bucket units), with an EWMA of its squared residuals as the
+//     variance estimate. Confidence is 1/(1+variance): a stationary or
+//     constant-drift stream converges to 1, while a range that teleports
+//     unpredictably drives the variance up and the confidence toward 0, so
+//     adversarial workloads suppress speculation on their own.
+//
+// Predict projects the last epoch's masses (plus trend) forward by the
+// rounded velocity and returns the top-scoring buckets coalesced into value
+// ranges, each carrying its share of the column's confidence. All bucket
+// arithmetic is done in unsigned 64-bit offsets from the domain origin, so
+// domains spanning the entire int64 range (the wrap class PR 7 fixed in the
+// cracker) cannot overflow; predicted ranges are always inside the
+// registered domain (FuzzForecastObserve pins both properties).
+//
+// A Forecaster is safe for concurrent use; the holistic tuner feeds it from
+// NoteQuery and consults it when ranking speculative pre-crack actions (see
+// internal/core and costmodel.PredictScore).
+package forecast
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"holistic/internal/stats"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultBuckets is the histogram resolution per column (matches
+	// stats.DefaultBuckets so forecast ranges line up with hot ranges).
+	DefaultBuckets = 64
+	// DefaultEpochQueries is how many observed queries close one epoch.
+	DefaultEpochQueries = 32
+	// DefaultTrendAlpha is the EWMA weight of the newest mass delta.
+	DefaultTrendAlpha = 0.5
+	// DefaultVelocityAlpha is the EWMA weight of the newest centroid move.
+	DefaultVelocityAlpha = 0.5
+	// DefaultTrendGamma weights the trend term against the mass term when
+	// scoring buckets.
+	DefaultTrendGamma = 1.0
+	// DefaultTopK is how many top-scoring buckets Predict considers before
+	// coalescing adjacent ones into ranges.
+	DefaultTopK = 4
+	// DefaultMinConfidence is the confidence floor below which Predict
+	// returns nothing: with no consistent drift evidence, speculating is
+	// worse than staying reactive.
+	DefaultMinConfidence = 0.1
+	// maxObserveWeight caps ObserveWeighted's weight so adversarial inputs
+	// cannot push an epoch's mass sum to +Inf (which would poison the
+	// normalisation with NaNs).
+	maxObserveWeight = 1e12
+)
+
+// Config tunes a Forecaster. The zero value selects all defaults.
+type Config struct {
+	// Buckets is the histogram resolution per column. <= 0 selects
+	// DefaultBuckets.
+	Buckets int
+	// EpochQueries is the epoch length in observed queries. <= 0 selects
+	// DefaultEpochQueries. Weighted observations still count as ONE query
+	// toward the epoch — weight scales mass, not time — which is what makes
+	// predictions invariant under uniform mass scaling.
+	EpochQueries int
+	// TrendAlpha / VelocityAlpha are the EWMA weights (0 < a <= 1); out of
+	// range selects the defaults.
+	TrendAlpha    float64
+	VelocityAlpha float64
+	// TrendGamma weights the trend term in bucket scores. 0 selects
+	// DefaultTrendGamma; < 0 disables the trend term.
+	TrendGamma float64
+	// TopK bounds how many buckets Predict scores into ranges. <= 0 selects
+	// DefaultTopK.
+	TopK int
+	// MinConfidence suppresses predictions below this confidence. 0 selects
+	// DefaultMinConfidence; < 0 disables the floor entirely.
+	MinConfidence float64
+}
+
+func (c *Config) defaults() {
+	if c.Buckets <= 0 {
+		c.Buckets = DefaultBuckets
+	}
+	if c.EpochQueries <= 0 {
+		c.EpochQueries = DefaultEpochQueries
+	}
+	if c.TrendAlpha <= 0 || c.TrendAlpha > 1 {
+		c.TrendAlpha = DefaultTrendAlpha
+	}
+	if c.VelocityAlpha <= 0 || c.VelocityAlpha > 1 {
+		c.VelocityAlpha = DefaultVelocityAlpha
+	}
+	switch {
+	case c.TrendGamma == 0:
+		c.TrendGamma = DefaultTrendGamma
+	case c.TrendGamma < 0:
+		c.TrendGamma = 0
+	}
+	if c.TopK <= 0 {
+		c.TopK = DefaultTopK
+	}
+	switch {
+	case c.MinConfidence == 0:
+		c.MinConfidence = DefaultMinConfidence
+	case c.MinConfidence < 0:
+		c.MinConfidence = 0
+	}
+}
+
+// Prediction is one range expected to be hot next, with the forecaster's
+// confidence share in it.
+type Prediction struct {
+	Range      stats.Range `json:"range"`
+	Confidence float64     `json:"confidence"`
+}
+
+// colForecast is the per-column model state. All access goes through the
+// Forecaster's lock.
+type colForecast struct {
+	domain stats.Range
+	width  uint64 // bucket width in value units (unsigned: full-domain safe)
+
+	cur        []float64 // this epoch's accumulating masses
+	curQueries int       // observed queries this epoch (weight-independent)
+
+	mass   []float64 // normalised masses at the last epoch close
+	trend  []float64 // EWMA of normalised-mass deltas per bucket
+	epochs int       // closed epochs that carried mass
+
+	center     float64 // last epoch's mass centroid, in bucket units
+	hasCenter  bool
+	velocity   float64 // EWMA centroid drift per epoch (bucket units)
+	velVar     float64 // EWMA of squared velocity residuals
+	velSamples int
+}
+
+// span returns the domain width as an unsigned offset count. Computed in
+// uint64 so [MinInt64, MaxInt64] does not overflow.
+func (c *colForecast) span() uint64 {
+	return uint64(c.domain.Hi) - uint64(c.domain.Lo)
+}
+
+// bucketOf maps a value inside the domain to its bucket.
+func (c *colForecast) bucketOf(v int64) int {
+	if v < c.domain.Lo {
+		return 0
+	}
+	if v >= c.domain.Hi {
+		return len(c.cur) - 1
+	}
+	b := int((uint64(v) - uint64(c.domain.Lo)) / c.width)
+	if b >= len(c.cur) {
+		b = len(c.cur) - 1
+	}
+	return b
+}
+
+// bucketRange returns bucket b's value interval, clamped to the domain. For
+// narrow domains (span < bucket count) the high buckets collapse to empty
+// ranges at the domain's top; callers skip those.
+func (c *colForecast) bucketRange(b int) stats.Range {
+	span := c.span()
+	lo := uint64(b) * c.width
+	if lo > span {
+		lo = span
+	}
+	hi := uint64(b+1) * c.width
+	if hi > span || b == len(c.cur)-1 {
+		hi = span
+	}
+	base := uint64(c.domain.Lo)
+	return stats.Range{Lo: int64(base + lo), Hi: int64(base + hi)}
+}
+
+// Forecaster learns per-column drift models over an observed query-range
+// stream. Safe for concurrent use.
+type Forecaster struct {
+	mu   sync.Mutex
+	cfg  Config
+	cols map[string]*colForecast
+}
+
+// New returns an empty forecaster.
+func New(cfg Config) *Forecaster {
+	cfg.defaults()
+	return &Forecaster{cfg: cfg, cols: map[string]*colForecast{}}
+}
+
+// Register introduces a column with its value domain [domLo, domHi).
+// Re-registering resets the column's model (the domain may have changed).
+func (f *Forecaster) Register(col string, domLo, domHi int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if domHi <= domLo {
+		if domLo == math.MaxInt64 {
+			domLo-- // domLo+1 would wrap
+		}
+		domHi = domLo + 1
+	}
+	c := &colForecast{
+		domain: stats.Range{Lo: domLo, Hi: domHi},
+		cur:    make([]float64, f.cfg.Buckets),
+		mass:   make([]float64, f.cfg.Buckets),
+		trend:  make([]float64, f.cfg.Buckets),
+	}
+	c.width = c.span() / uint64(f.cfg.Buckets)
+	if c.width == 0 {
+		c.width = 1
+	}
+	f.cols[col] = c
+}
+
+// Registered reports whether the column is known.
+func (f *Forecaster) Registered(col string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.cols[col]
+	return ok
+}
+
+// Domain returns the column's registered (normalised) domain.
+func (f *Forecaster) Domain(col string) (stats.Range, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.cols[col]
+	if !ok {
+		return stats.Range{}, false
+	}
+	return c.domain, true
+}
+
+// Observe notes one range query [lo, hi) against the column.
+func (f *Forecaster) Observe(col string, lo, hi int64) {
+	f.ObserveWeighted(col, lo, hi, 1)
+}
+
+// ObserveWeighted notes a range query with mass weight w (e.g. seeded
+// workload hints). The weight scales histogram mass but the observation
+// still counts as one query toward the epoch clock, so uniformly scaling
+// every weight leaves all predictions unchanged. Non-positive weights and
+// empty or out-of-domain ranges are ignored.
+func (f *Forecaster) ObserveWeighted(col string, lo, hi int64, w float64) {
+	if !(w > 0) || lo >= hi {
+		return
+	}
+	if w > maxObserveWeight {
+		w = maxObserveWeight
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.cols[col]
+	if !ok {
+		return
+	}
+	if hi <= c.domain.Lo || lo >= c.domain.Hi {
+		return // entirely outside the domain: no location information
+	}
+	b0 := c.bucketOf(max(lo, c.domain.Lo))
+	b1 := c.bucketOf(min(hi-1, c.domain.Hi-1))
+	for b := b0; b <= b1; b++ {
+		c.cur[b] += w
+	}
+	c.curQueries++
+	if c.curQueries >= f.cfg.EpochQueries {
+		f.closeEpoch(c)
+	}
+}
+
+// closeEpoch folds the accumulating histogram into the model: normalise,
+// update per-bucket trend, move the centroid, update velocity and its
+// variance. Called with the forecaster lock held.
+func (f *Forecaster) closeEpoch(c *colForecast) {
+	total := 0.0
+	for _, m := range c.cur {
+		total += m
+	}
+	reset := func() {
+		for b := range c.cur {
+			c.cur[b] = 0
+		}
+		c.curQueries = 0
+	}
+	if !(total > 0) || math.IsInf(total, 0) {
+		reset()
+		return // degenerate epoch: keep the previous model untouched
+	}
+	center := 0.0
+	for b := range c.cur {
+		nm := c.cur[b] / total
+		if c.epochs > 0 {
+			c.trend[b] += f.cfg.TrendAlpha * (nm - c.mass[b] - c.trend[b])
+		}
+		c.mass[b] = nm
+		center += (float64(b) + 0.5) * nm
+	}
+	if c.hasCenter {
+		v := center - c.center
+		if c.velSamples == 0 {
+			c.velocity, c.velVar = v, 0
+		} else {
+			resid := v - c.velocity
+			c.velocity += f.cfg.VelocityAlpha * (v - c.velocity)
+			c.velVar += f.cfg.VelocityAlpha * (resid*resid - c.velVar)
+		}
+		c.velSamples++
+	}
+	c.center, c.hasCenter = center, true
+	c.epochs++
+	reset()
+}
+
+// confidence is 1/(1+velocityVariance): 1 for a stationary or constant-drift
+// stream, near 0 for a teleporting one. Zero until two velocity samples
+// exist (three closed epochs) — no evidence, no speculation.
+func (c *colForecast) confidence() float64 {
+	if c.velSamples < 2 {
+		return 0
+	}
+	return 1 / (1 + c.velVar)
+}
+
+// Confidence returns the column's current drift confidence in [0, 1].
+func (f *Forecaster) Confidence(col string) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.cols[col]; ok {
+		return c.confidence()
+	}
+	return 0
+}
+
+// Epochs returns how many epochs the column's model has closed.
+func (f *Forecaster) Epochs(col string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.cols[col]; ok {
+		return c.epochs
+	}
+	return 0
+}
+
+// Predict returns the value ranges expected to be hot next, best first, each
+// carrying its share of the column's confidence. It returns nil for unknown
+// or not-yet-learned columns and whenever confidence is below the configured
+// floor, so callers can treat "no prediction" and "don't speculate" the same
+// way. Every returned range is non-empty and inside the registered domain.
+func (f *Forecaster) Predict(col string) []Prediction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.cols[col]
+	if !ok || c.epochs == 0 {
+		return nil
+	}
+	conf := c.confidence()
+	if conf < f.cfg.MinConfidence || conf <= 0 {
+		return nil
+	}
+	shift := int(math.Round(c.velocity))
+	nb := len(c.mass)
+	score := make([]float64, nb)
+	for b := range score {
+		src := b - shift
+		if src < 0 || src >= nb {
+			continue
+		}
+		if s := c.mass[src] + f.cfg.TrendGamma*c.trend[src]; s > 0 {
+			score[b] = s
+		}
+	}
+	// Top-K buckets by (score desc, bucket asc) — deterministic.
+	order := make([]int, 0, nb)
+	for b, s := range score {
+		if s > 0 {
+			order = append(order, b)
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	sort.Slice(order, func(i, j int) bool {
+		bi, bj := order[i], order[j]
+		if score[bi] != score[bj] {
+			return score[bi] > score[bj]
+		}
+		return bi < bj
+	})
+	if len(order) > f.cfg.TopK {
+		order = order[:f.cfg.TopK]
+	}
+	total := 0.0
+	for _, b := range order {
+		total += score[b]
+	}
+	// Coalesce adjacent picked buckets into ranges; each range's confidence
+	// is the column confidence weighted by its score share.
+	sort.Ints(order)
+	var out []Prediction
+	for i := 0; i < len(order); {
+		j := i
+		mass := 0.0
+		for j < len(order) && order[j] == order[i]+(j-i) {
+			mass += score[order[j]]
+			j++
+		}
+		lo := c.bucketRange(order[i]).Lo
+		hi := c.bucketRange(order[j-1]).Hi
+		if lo < hi {
+			out = append(out, Prediction{
+				Range:      stats.Range{Lo: lo, Hi: hi},
+				Confidence: conf * (mass / total),
+			})
+		}
+		i = j
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Range.Lo < out[j].Range.Lo
+	})
+	return out
+}
+
+// PredictRanges is Predict without the confidence annotations.
+func (f *Forecaster) PredictRanges(col string) []stats.Range {
+	preds := f.Predict(col)
+	if len(preds) == 0 {
+		return nil
+	}
+	out := make([]stats.Range, len(preds))
+	for i, p := range preds {
+		out[i] = p.Range
+	}
+	return out
+}

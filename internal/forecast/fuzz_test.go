@@ -1,0 +1,50 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzForecastObserve drives the histogram/trend update path with arbitrary
+// domains and query ranges — including the MinInt64/MaxInt64 wrap class PR 7
+// fixed in the cracker — and pins two invariants: the forecaster never
+// panics, and every predicted range is non-empty and inside the registered
+// (normalised) domain.
+func FuzzForecastObserve(f *testing.F) {
+	f.Add(int64(0), int64(6400), int64(100), int64(200), uint8(16))
+	f.Add(int64(math.MinInt64), int64(math.MaxInt64), int64(-10), int64(10), uint8(40))
+	f.Add(int64(math.MinInt64), int64(math.MaxInt64), int64(math.MinInt64), int64(math.MaxInt64), uint8(64))
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64), int64(math.MaxInt64-1), int64(math.MaxInt64), uint8(8))
+	f.Add(int64(5), int64(5), int64(5), int64(6), uint8(32))
+	f.Add(int64(-1), int64(1), int64(math.MinInt64), int64(0), uint8(12))
+	f.Fuzz(func(t *testing.T, domLo, domHi, lo, hi int64, n uint8) {
+		fc := New(Config{Buckets: 16, EpochQueries: 4})
+		fc.Register("c", domLo, domHi)
+		dom, ok := fc.Domain("c")
+		if !ok {
+			t.Fatal("registered column not found")
+		}
+		if dom.Lo >= dom.Hi {
+			t.Fatalf("normalised domain %v is empty", dom)
+		}
+		steps := int(n%32) + 1
+		for i := 0; i < steps; i++ {
+			// Perturb the range each step; int64 overflow wraps (defined in
+			// Go), which is exactly the hostile input class we want.
+			d := int64(i) * (dom.Hi/int64(steps) - dom.Lo/int64(steps))
+			fc.Observe("c", lo+d, hi+d)
+			fc.ObserveWeighted("c", lo-d, hi-d, float64(i))
+			for _, p := range fc.Predict("c") {
+				if p.Range.Lo >= p.Range.Hi {
+					t.Fatalf("empty predicted range %v", p.Range)
+				}
+				if p.Range.Lo < dom.Lo || p.Range.Hi > dom.Hi {
+					t.Fatalf("prediction %v outside domain %v", p.Range, dom)
+				}
+				if p.Confidence < 0 || p.Confidence > 1 || math.IsNaN(p.Confidence) {
+					t.Fatalf("confidence %g out of [0,1]", p.Confidence)
+				}
+			}
+		}
+	})
+}

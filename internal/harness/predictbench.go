@@ -1,0 +1,400 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"holistic/internal/engine"
+	"holistic/internal/workload"
+)
+
+// PredictBenchConfig configures the predictive idle scheduling benchmark: a
+// bursty workload whose hot range moves between bursts, run twice per
+// scenario — once with forecast-driven speculative pre-cracking (predicted)
+// and once without (reactive) — on identical data and query sequences. The
+// measured quantity is the first-query-after-gap latency: when the drift is
+// learnable the predicted engine has already pre-cracked where that query
+// lands; when the hot range teleports adversarially the forecaster's
+// confidence collapses and speculation must self-suppress, so the predicted
+// engine must not lose beyond its declared budget.
+type PredictBenchConfig struct {
+	// N is the number of uniform rows in the single benchmark column.
+	N int
+	// Clients is how many concurrent closed-loop query streams run per burst.
+	Clients int
+	// Bursts is how many busy/gap phases each run executes.
+	Bursts int
+	// QueriesPerBurst is how many queries EACH client issues per burst (one
+	// extra probe query opens every burst, see below).
+	QueriesPerBurst int
+	// WarmupBursts are excluded from the median first-query comparison: the
+	// forecaster needs three closed epochs before it has a velocity estimate.
+	WarmupBursts int
+	// Gap is the wall-clock traffic gap between bursts — the idle time the
+	// speculative layer harvests.
+	Gap time.Duration
+	// Seed makes data, drift and query jitter reproducible.
+	Seed uint64
+	// TargetPieceSize is the reactive convergence target. Deliberately
+	// coarse: reactive refinement exhausts after the first burst, so the
+	// gaps isolate the speculative layer (which refines 16x finer — see
+	// costmodel.SpecTarget).
+	TargetPieceSize int
+	// SpecBudget caps speculative attempts per gap (0 = engine default).
+	SpecBudget int
+	// IdleWorkers / IdleQuiet tune the automatic idle pool.
+	IdleWorkers int
+	IdleQuiet   time.Duration
+}
+
+func (c *PredictBenchConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 1 << 22
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Bursts <= 0 {
+		c.Bursts = 10
+	}
+	if c.QueriesPerBurst <= 0 {
+		c.QueriesPerBurst = 64
+	}
+	if c.WarmupBursts <= 0 {
+		c.WarmupBursts = 3
+	}
+	if c.WarmupBursts >= c.Bursts {
+		c.WarmupBursts = c.Bursts - 1
+	}
+	if c.Gap <= 0 {
+		c.Gap = 250 * time.Millisecond
+	}
+	if c.TargetPieceSize <= 0 {
+		c.TargetPieceSize = 1 << 18
+	}
+	if c.IdleQuiet <= 0 {
+		c.IdleQuiet = 2 * time.Millisecond
+	}
+}
+
+// PredictBurst is one busy/gap phase of one run. The JSON field names are
+// the contract docs/bench_predict.schema.json validates.
+type PredictBurst struct {
+	HotLo int64 `json:"hot_lo"` // where the hot window sat this burst
+	// FirstQueryUS is the latency of the burst's opening probe query — the
+	// first query after the gap, landing on the (possibly pre-cracked) new
+	// hot window.
+	FirstQueryUS int64 `json:"first_query_us"`
+	P50US        int64 `json:"p50_us"` // closed-loop burst latencies
+	P99US        int64 `json:"p99_us"`
+	GapActions   int64 `json:"gap_actions"`    // idle actions during the following gap
+	GapSpecSpent int64 `json:"gap_spec_spent"` // speculative attempts charged to that gap
+	SpecWins     int64 `json:"spec_wins"`      // cumulative speculated-range hits so far
+}
+
+// PredictRun is one (scenario, mode) cell of the benchmark matrix.
+type PredictRun struct {
+	Scenario string         `json:"scenario"` // drift | teleport
+	Mode     string         `json:"mode"`     // predicted | reactive
+	Bursts   []PredictBurst `json:"bursts"`
+	// MedianFirstUS is the median first-query-after-gap latency over the
+	// post-warmup bursts — the headline number per cell.
+	MedianFirstUS int64 `json:"median_first_us"`
+	SpecActions   int64 `json:"spec_actions"`
+	SpecWins      int64 `json:"spec_wins"`
+	// BudgetOK records that no gap spent more speculative attempts than the
+	// per-gap budget (vacuously true for reactive runs).
+	BudgetOK bool `json:"budget_ok"`
+}
+
+// PredictBenchResult is the machine-readable outcome of RunPredictBench,
+// serialised to BENCH_predict.json.
+type PredictBenchResult struct {
+	Bench           string       `json:"bench"`
+	N               int          `json:"n"`
+	Clients         int          `json:"clients"`
+	Bursts          int          `json:"bursts"`
+	QueriesPerBurst int          `json:"queries_per_burst"`
+	WarmupBursts    int          `json:"warmup_bursts"`
+	GapMS           float64      `json:"gap_ms"`
+	Seed            uint64       `json:"seed"`
+	TargetPieceSize int          `json:"target_piece_size"`
+	SpecBudget      int          `json:"spec_budget"` // resolved per-gap cap
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Cores           int          `json:"cores"`
+	Runs            []PredictRun `json:"runs"`
+	// The four headline medians, lifted from Runs for the schema check.
+	DriftPredictedUS int64 `json:"drift_predicted_us"`
+	DriftReactiveUS  int64 `json:"drift_reactive_us"`
+	AdvPredictedUS   int64 `json:"adv_predicted_us"`
+	AdvReactiveUS    int64 `json:"adv_reactive_us"`
+	// DriftImproved: with learnable drift, the predicted engine's median
+	// first-query-after-gap latency beat the reactive engine's.
+	DriftImproved bool `json:"drift_improved"`
+	// AdversarialOK: with a teleporting hot range the predicted engine
+	// stayed within the declared budget of the reactive one (3x + 10ms
+	// slack — generous because both numbers are cold-crack costs with
+	// scheduler noise).
+	AdversarialOK bool `json:"adversarial_ok"`
+	// BudgetOK: no gap of any predicted run overspent the speculative cap.
+	BudgetOK bool `json:"budget_ok"`
+	// OracleOK: every query of every run matched the serial oracle.
+	OracleOK bool `json:"oracle_ok"`
+}
+
+// predictHots precomputes the per-burst hot-window origins so predicted and
+// reactive runs see bit-identical workloads. The window is one forecast
+// bucket wide (domain/64). Drift moves exactly four windows per burst —
+// learnable in one velocity sample; teleport jumps at least a quarter of the
+// domain with seeded jitter — never learnable.
+func predictHots(scenario string, cfg PredictBenchConfig) []int64 {
+	n := int64(cfg.N)
+	width := n / 64
+	hots := make([]int64, cfg.Bursts)
+	switch scenario {
+	case "teleport":
+		rng := rand.New(rand.NewPCG(cfg.Seed^0x7E1E, cfg.Seed+99))
+		lo := n / 3
+		for b := range hots {
+			hots[b] = lo
+			lo = (lo+n/4+rng.Int64N(n/4))%(n-width-1) + 1
+		}
+	default: // drift
+		for b := range hots {
+			hots[b] = (n/8 + int64(b)*4*width) % (n - width - 1)
+		}
+	}
+	return hots
+}
+
+// RunPredictBench runs the 2x2 matrix {drift, teleport} x {predicted,
+// reactive} on one shared dataset, verifying every query against the serial
+// oracle, and renders the verdicts the committed BENCH_predict.json asserts.
+func RunPredictBench(cfg PredictBenchConfig) (*PredictBenchResult, error) {
+	cfg.defaults()
+	vals := workload.UniformData(cfg.Seed^0x9E37, cfg.N, 1, int64(cfg.N)+1)
+	orc := newPrefixOracle(vals)
+
+	res := &PredictBenchResult{
+		Bench: "predict", N: cfg.N, Clients: cfg.Clients, Bursts: cfg.Bursts,
+		QueriesPerBurst: cfg.QueriesPerBurst, WarmupBursts: cfg.WarmupBursts,
+		GapMS: float64(cfg.Gap) / float64(time.Millisecond), Seed: cfg.Seed,
+		TargetPieceSize: cfg.TargetPieceSize,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0), Cores: runtime.NumCPU(),
+		OracleOK: true, BudgetOK: true,
+	}
+	for _, scenario := range []string{"drift", "teleport"} {
+		hots := predictHots(scenario, cfg)
+		for _, predicted := range []bool{true, false} {
+			run, specBudget, err := runPredictMode(cfg, scenario, predicted, hots, vals, orc)
+			if err != nil {
+				return nil, err
+			}
+			if predicted {
+				res.SpecBudget = specBudget
+				res.BudgetOK = res.BudgetOK && run.BudgetOK
+			}
+			res.Runs = append(res.Runs, *run)
+		}
+	}
+	cell := func(scenario, mode string) int64 {
+		for _, r := range res.Runs {
+			if r.Scenario == scenario && r.Mode == mode {
+				return r.MedianFirstUS
+			}
+		}
+		return 0
+	}
+	res.DriftPredictedUS = cell("drift", "predicted")
+	res.DriftReactiveUS = cell("drift", "reactive")
+	res.AdvPredictedUS = cell("teleport", "predicted")
+	res.AdvReactiveUS = cell("teleport", "reactive")
+	res.DriftImproved = res.DriftPredictedUS < res.DriftReactiveUS
+	res.AdversarialOK = res.AdvPredictedUS <= 3*res.AdvReactiveUS+10_000
+	return res, nil
+}
+
+// runPredictMode executes one (scenario, mode) cell: a fresh engine over the
+// shared dataset, Bursts busy/gap phases on the precomputed hot windows.
+// Every burst opens with a single serial probe query — the measured
+// first-query-after-gap — then Clients closed-loop streams. Returns the run
+// and the engine's resolved per-gap speculative budget.
+func runPredictMode(cfg PredictBenchConfig, scenario string, predicted bool,
+	hots []int64, vals []int64, orc *prefixOracle) (*PredictRun, int, error) {
+	eng := engine.New(engine.Config{
+		Strategy:        engine.StrategyHolistic,
+		Seed:            cfg.Seed,
+		TargetPieceSize: cfg.TargetPieceSize,
+		AutoIdle:        true,
+		IdleQuiet:       cfg.IdleQuiet,
+		IdleWorkers:     cfg.IdleWorkers,
+		// Radix-first coarse cracking off: the cold-window partition cost
+		// must land on the first toucher, because that is the exact cost
+		// speculation claims to move off the critical path.
+		RadixMinPiece: -1,
+		Predict:       predicted,
+		SpecBudget:    cfg.SpecBudget,
+		// One forecaster epoch per burst: probe + Clients*QueriesPerBurst.
+		PredictEpoch: 1 + cfg.Clients*cfg.QueriesPerBurst,
+	})
+	defer eng.Close()
+	tab, err := eng.CreateTable("r")
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := tab.AddColumnFromSlice("a", append([]int64(nil), vals...)); err != nil {
+		return nil, 0, err
+	}
+
+	mode := "reactive"
+	if predicted {
+		mode = "predicted"
+	}
+	run := &PredictRun{Scenario: scenario, Mode: mode, BudgetOK: true}
+	specBudget := 0
+	width := int64(cfg.N) / 64
+	span := width / 2
+	check := func(lo, hi int64, count int, sum int64) error {
+		wc, ws := orc.countSum(lo, hi)
+		if count != wc || sum != ws {
+			return fmt.Errorf("%s/%s: oracle divergence on [%d,%d): got %d/%d want %d/%d",
+				scenario, mode, lo, hi, count, sum, wc, ws)
+		}
+		return nil
+	}
+
+	for b, hot := range hots {
+		// Probe: the first query after the gap, on the freshly moved window.
+		t0 := time.Now()
+		r, err := eng.Select("r", "a", hot, hot+span)
+		first := time.Since(t0)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := check(hot, hot+span, r.Count, r.Sum); err != nil {
+			return nil, 0, err
+		}
+
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			lats []time.Duration
+			errs []error
+		)
+		for ci := 0; ci < cfg.Clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(cfg.Seed+uint64(b*cfg.Clients+ci), 0xB125+uint64(ci)))
+				local := make([]time.Duration, 0, cfg.QueriesPerBurst)
+				for q := 0; q < cfg.QueriesPerBurst; q++ {
+					lo := hot + rng.Int64N(width-span)
+					t0 := time.Now()
+					r, err := eng.Select("r", "a", lo, lo+span)
+					lat := time.Since(t0)
+					if err == nil {
+						err = check(lo, lo+span, r.Count, r.Sum)
+					}
+					if err != nil {
+						mu.Lock()
+						errs = append(errs, err)
+						mu.Unlock()
+						return
+					}
+					local = append(local, lat)
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			}(ci)
+		}
+		wg.Wait()
+		if len(errs) > 0 {
+			return nil, 0, errs[0]
+		}
+		p50, _, p99, _ := LatencyProfile(lats)
+
+		// Traffic gap: reactive refinement (exhausted after burst 0) then at
+		// most SpecBudget speculative attempts on the forecast.
+		actionsBefore := eng.AutoIdleActions()
+		time.Sleep(cfg.Gap)
+		burst := PredictBurst{
+			HotLo:        hot,
+			FirstQueryUS: first.Microseconds(),
+			P50US:        p50.Microseconds(),
+			P99US:        p99.Microseconds(),
+			GapActions:   eng.AutoIdleActions() - actionsBefore,
+		}
+		if fs := eng.ForecastStats(); fs != nil {
+			specBudget = fs.SpecBudget
+			burst.GapSpecSpent = fs.SpecSpentGap
+			burst.SpecWins = fs.SpecWins
+			run.SpecActions = fs.SpecActions
+			run.SpecWins = fs.SpecWins
+			if fs.SpecSpentGap > int64(fs.SpecBudget) {
+				run.BudgetOK = false
+			}
+		}
+		run.Bursts = append(run.Bursts, burst)
+	}
+	run.MedianFirstUS = medianFirstQueryUS(run.Bursts[cfg.WarmupBursts:])
+	return run, specBudget, nil
+}
+
+// medianFirstQueryUS is the median of the bursts' probe latencies.
+func medianFirstQueryUS(bursts []PredictBurst) int64 {
+	if len(bursts) == 0 {
+		return 0
+	}
+	us := make([]int64, len(bursts))
+	for i, b := range bursts {
+		us[i] = b.FirstQueryUS
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	return us[len(us)/2]
+}
+
+// WritePredictBenchJSON serialises the result as indented JSON — the
+// BENCH_predict.json format the CI schema check validates.
+func WritePredictBenchJSON(w io.Writer, res *PredictBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// FormatPredictBench renders the benchmark as per-run burst tables plus the
+// three verdicts.
+func FormatPredictBench(res *PredictBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Predictive idle scheduling benchmark: %d rows, %d clients, %d bursts x %d queries/client, %.0fms gaps, spec budget %d, GOMAXPROCS=%d\n",
+		res.N, res.Clients, res.Bursts, res.QueriesPerBurst, res.GapMS, res.SpecBudget, res.GOMAXPROCS)
+	for _, run := range res.Runs {
+		fmt.Fprintf(&b, "\n%s / %s (median first query %dus over post-warmup bursts):\n",
+			run.Scenario, run.Mode, run.MedianFirstUS)
+		fmt.Fprintf(&b, "  %-7s %12s %10s %10s %12s %10s %9s\n",
+			"burst", "first query", "p50", "p99", "gap actions", "spec/gap", "wins")
+		for i, burst := range run.Bursts {
+			warm := ""
+			if i < res.WarmupBursts {
+				warm = " (warmup)"
+			}
+			fmt.Fprintf(&b, "  burst%-2d %10dus %8dus %8dus %12d %10d %9d%s\n",
+				i, burst.FirstQueryUS, burst.P50US, burst.P99US,
+				burst.GapActions, burst.GapSpecSpent, burst.SpecWins, warm)
+		}
+	}
+	fmt.Fprintf(&b, "\ndrift:    predicted %dus vs reactive %dus -> improved=%v\n",
+		res.DriftPredictedUS, res.DriftReactiveUS, res.DriftImproved)
+	fmt.Fprintf(&b, "teleport: predicted %dus vs reactive %dus -> within budget=%v (cap 3x+10ms)\n",
+		res.AdvPredictedUS, res.AdvReactiveUS, res.AdversarialOK)
+	fmt.Fprintf(&b, "speculation: per-gap cap %d held on every gap=%v, oracle exact=%v\n",
+		res.SpecBudget, res.BudgetOK, res.OracleOK)
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunPredictBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bursty wall-clock benchmark")
+	}
+	cfg := PredictBenchConfig{
+		N:               1 << 18,
+		Clients:         2,
+		Bursts:          5,
+		QueriesPerBurst: 12,
+		WarmupBursts:    3,
+		Gap:             50 * time.Millisecond,
+		Seed:            5,
+		TargetPieceSize: 1 << 14,
+		IdleWorkers:     2,
+		IdleQuiet:       2 * time.Millisecond,
+	}
+	res, err := RunPredictBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("runs: %d, want the 2x2 matrix", len(res.Runs))
+	}
+	if !res.OracleOK {
+		t.Fatal("oracle flagged not ok on a successful run")
+	}
+	if !res.BudgetOK {
+		t.Fatal("a gap overspent the speculative budget")
+	}
+	if res.SpecBudget <= 0 {
+		t.Fatalf("resolved speculative budget %d", res.SpecBudget)
+	}
+	seen := map[string]PredictRun{}
+	for _, run := range res.Runs {
+		key := run.Scenario + "/" + run.Mode
+		seen[key] = run
+		if len(run.Bursts) != cfg.Bursts {
+			t.Fatalf("%s: %d bursts, want %d", key, len(run.Bursts), cfg.Bursts)
+		}
+		for i, burst := range run.Bursts {
+			if burst.FirstQueryUS < 0 || burst.P99US < burst.P50US {
+				t.Fatalf("%s burst %d latencies implausible: %+v", key, i, burst)
+			}
+			if run.Mode == "reactive" && burst.GapSpecSpent != 0 {
+				t.Fatalf("%s burst %d: reactive run spent speculative budget", key, i)
+			}
+			if burst.GapSpecSpent > int64(res.SpecBudget) {
+				t.Fatalf("%s burst %d: spent %d of %d", key, i, burst.GapSpecSpent, res.SpecBudget)
+			}
+		}
+	}
+	for _, key := range []string{"drift/predicted", "drift/reactive", "teleport/predicted", "teleport/reactive"} {
+		if _, ok := seen[key]; !ok {
+			t.Fatalf("matrix cell %s missing", key)
+		}
+	}
+	// The learnable-drift cell must actually speculate (and win): the whole
+	// benchmark is meaningless if the predicted engine never pre-cracks.
+	dp := seen["drift/predicted"]
+	if dp.SpecActions == 0 {
+		t.Fatal("drift/predicted ran zero speculative actions")
+	}
+	if dp.SpecWins == 0 {
+		t.Fatal("drift/predicted pre-cracks were never hit by a query")
+	}
+
+	out := FormatPredictBench(res)
+	for _, needle := range []string{"Predictive idle scheduling", "drift / predicted", "teleport / reactive", "burst0", "oracle"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("FormatPredictBench output missing %q:\n%s", needle, out)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WritePredictBenchJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if round["bench"] != "predict" || round["oracle_ok"] != true {
+		t.Fatalf("emitted JSON wrong header: bench=%v oracle_ok=%v", round["bench"], round["oracle_ok"])
+	}
+}

@@ -62,6 +62,14 @@ const DefaultQuantum = 16
 // of yielding to a fresh request stays bounded.
 const MaxRamp = 8
 
+// DefaultSpecBudget is the default per-gap cap on speculative actions: two
+// base quanta. A wrong forecast therefore burns at most a bounded fraction
+// of one traffic gap's idle capacity (a long gap ramps real work up to
+// MaxRamp×quantum per worker per wakeup, but speculation stays capped), and
+// never a query's critical path — speculative steps run under the same
+// zero-in-flight tokens as real ones.
+const DefaultSpecBudget = 2 * DefaultQuantum
+
 // Gate is an external load signal the automatic workers yield to, in
 // addition to the engine-level query activity they already track. It is
 // implemented by internal/loadgate for the network server: Busy vetoes
@@ -92,6 +100,18 @@ type Runner struct {
 	actions atomic.Int64 // total actions executed
 	stopped atomic.Bool
 	gate    atomic.Value // Gate; external load signal, nil until SetGate
+
+	// Speculative drain: when real refinement reports exhaustion, a worker
+	// may spend one of the current gap's budget slots on specStep (a
+	// forecast-driven pre-crack). The budget is per traffic gap — every
+	// QueryBegin resets specSpent — so a wrong forecast burns at most
+	// specBudget slots before real traffic re-arms it, and zero slots while
+	// traffic is live (spec steps run inside the same claim/token scope as
+	// real ones).
+	specStep    func() bool // nil = speculation disabled
+	specBudget  int
+	specSpent   atomic.Int64 // slots consumed this gap
+	specActions atomic.Int64 // speculative steps that did work, ever
 
 	// testHookClaim, when non-nil, runs between a step's claim and the
 	// atomic token grant. Tests use it to provoke the
@@ -182,8 +202,14 @@ const queryShift = 24
 // QueryBegin tells the runner a query entered the system. Automatic workers
 // finish their current step (steps are bounded: one crack, one merge
 // quantum) and then yield; no new step token is granted until the query
-// completes.
-func (r *Runner) QueryBegin() { r.state.Add(1 << queryShift) }
+// completes. Real traffic also re-arms the speculative budget: the cap is
+// per traffic gap, not global.
+func (r *Runner) QueryBegin() {
+	r.state.Add(1 << queryShift)
+	if r.specStep != nil {
+		r.specSpent.Store(0)
+	}
+}
 
 // QueryEnd tells the runner a query completed, restarting the quiet clock.
 // The clock is stamped before the count drops so a worker that observes
@@ -227,6 +253,55 @@ func (r *Runner) Actions() int64 { return r.actions.Load() }
 // while no workers run.
 func (r *Runner) SetClaimHook(h func()) { r.testHookClaim = h }
 
+// SetSpeculative attaches a speculative step the runner may drain AFTER real
+// refinement reports exhaustion, capped at perGapBudget slots per traffic
+// gap (<= 0 selects DefaultSpecBudget). The step runs inside the same
+// zero-in-flight claim/token scope as real steps, so speculation inherits
+// the never-against-traffic guarantee verbatim. Must be set while no workers
+// run (the engine wires it at construction). Failed attempts (the step
+// found nothing worth pre-cracking) consume budget too: the cap bounds how
+// often a gap even *tries* to speculate, which is what makes a maximally
+// wrong forecast cost a bounded slice of idle capacity.
+func (r *Runner) SetSpeculative(step func() bool, perGapBudget int) {
+	if step == nil {
+		return
+	}
+	if perGapBudget <= 0 {
+		perGapBudget = DefaultSpecBudget
+	}
+	r.specStep = step
+	r.specBudget = perGapBudget
+}
+
+// Speculative reports whether a speculative step is attached.
+func (r *Runner) Speculative() bool { return r.specStep != nil }
+
+// SpecBudget returns the per-gap speculative slot cap (0 when disabled).
+func (r *Runner) SpecBudget() int { return r.specBudget }
+
+// SpecSpent returns how many speculative slots the current traffic gap has
+// consumed; it never exceeds SpecBudget within a gap.
+func (r *Runner) SpecSpent() int64 { return r.specSpent.Load() }
+
+// SpecActions returns the total number of speculative steps that performed
+// work. They are also included in Actions.
+func (r *Runner) SpecActions() int64 { return r.specActions.Load() }
+
+// claimSpecSlot takes one speculative budget slot for the current gap, or
+// reports the cap reached. A QueryBegin racing the CAS can only reset the
+// counter to zero — the cap is never exceeded within a gap.
+func (r *Runner) claimSpecSlot() bool {
+	for {
+		n := r.specSpent.Load()
+		if n >= int64(r.specBudget) {
+			return false
+		}
+		if r.specSpent.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
 // claimStep attempts to run exactly one tuning action. After the
 // preliminary idle checks it takes the runner's step token — a CAS that
 // only succeeds while the in-flight query count is exactly zero — so a
@@ -259,7 +334,18 @@ func (r *Runner) claimStep() (ran, more bool) {
 	}
 	defer r.stepEnd()
 	if !r.step() {
-		return false, false
+		// Real refinement is exhausted; spend one speculative budget slot if
+		// the gap still has one. The tokens taken above stay held, so the
+		// speculative step is gated against traffic exactly like a real one.
+		if r.specStep == nil || !r.claimSpecSlot() {
+			return false, false
+		}
+		if !r.specStep() {
+			return false, false
+		}
+		r.specActions.Add(1)
+		r.actions.Add(1)
+		return true, true
 	}
 	r.actions.Add(1)
 	return true, true

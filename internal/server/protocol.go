@@ -63,6 +63,10 @@ type Stats struct {
 	IdleActions int64          `json:"idle_actions"`
 	Strategy    string         `json:"strategy"`
 	Degraded    bool           `json:"degraded,omitempty"`
+	// Forecast is the predictive idle scheduling snapshot — per-column
+	// predicted ranges with confidence, plus speculative budget and win
+	// counters. Omitted unless the engine runs with Config.Predict.
+	Forecast *engine.ForecastStats `json:"forecast,omitempty"`
 }
 
 // parseRequest decodes one wire line. A line starting with '{' is a JSON

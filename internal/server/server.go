@@ -367,6 +367,7 @@ func (s *Server) command(id int64, stmt string) Response {
 			IdleActions: s.eng.AutoIdleActions(),
 			Strategy:    s.eng.Strategy().String(),
 			Degraded:    s.eng.ReadOnly(),
+			Forecast:    s.eng.ForecastStats(),
 		}}
 	case `\pieces`:
 		if len(fields) != 3 {

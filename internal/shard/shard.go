@@ -136,6 +136,14 @@ type Config struct {
 	// each part's cracker index. 0 selects costmodel.DefaultRadixMinPiece;
 	// < 0 disables radix-first cracking.
 	RadixMinPiece int
+	// Predict marks the column's parts as participating in forecast-driven
+	// speculative pre-cracking. The forecaster and the speculative budget
+	// live above the shard layer (internal/core, internal/idle); the flag is
+	// carried per part so diagnostics and tests can see which parts are
+	// forecast-driven, and SpecBudget records the per-gap cap they run
+	// under.
+	Predict    bool
+	SpecBudget int
 }
 
 // radixMinPiece resolves Config.RadixMinPiece to the value the cracker
@@ -769,6 +777,47 @@ func (p *Part) PieceStats() (pieces, n int) {
 		return 1, live
 	}
 	return p.crack.Pieces(), p.crack.Len()
+}
+
+// Predictive reports whether the part participates in forecast-driven
+// speculative pre-cracking, and under which per-gap budget.
+func (p *Part) Predictive() (bool, int) { return p.cfg.Predict, p.cfg.SpecBudget }
+
+// RangePieceAvg returns the average size (in values) of the cracker pieces
+// overlapping the value range [lo, hi), or 0 when the part has no cracker
+// index yet or the range overlaps nothing. The speculative tuner uses it to
+// decide whether a forecast-predicted range still needs pre-cracking: unlike
+// the column-wide average, it measures exactly the region the next burst is
+// expected to hit.
+func (p *Part) RangePieceAvg(lo, hi int64) float64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.crack == nil || lo >= hi {
+		return 0
+	}
+	return rangePieceAvg(p.crack, lo, hi)
+}
+
+// rangePieceAvg walks the pieces overlapping [lo, hi) in value order. The
+// caller holds the part's shared latch; the walk takes the index's own tree
+// latch internally.
+func rangePieceAvg(ix *cracker.Index, lo, hi int64) float64 {
+	pieces, total := 0, 0
+	ix.ForEachPiece(func(pc cracker.Piece) bool {
+		if pc.HasHi && pc.Hi <= lo {
+			return true // entirely below the range: keep walking
+		}
+		if pc.HasLo && pc.Lo >= hi {
+			return false // pieces are value ordered: nothing further overlaps
+		}
+		pieces++
+		total += pc.Size()
+		return true
+	})
+	if pieces == 0 {
+		return 0
+	}
+	return float64(total) / float64(pieces)
 }
 
 // PendingCounts returns the part's buffered (inserts, deletes).

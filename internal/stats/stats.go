@@ -44,7 +44,7 @@ func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
 // lock.
 type columnStats struct {
 	domain  Range
-	width   float64 // bucket width in value units
+	width   uint64  // bucket width in value units (unsigned: full-domain safe)
 	queries uint64  // raw query count (never decayed)
 	decayed float64 // decayed query count
 	lastSeq uint64  // collector sequence at last touch (for lazy decay)
@@ -63,6 +63,11 @@ func (cs *columnStats) catchUp(seq uint64, decay float64) {
 	cs.lastSeq = seq
 }
 
+// bucketOf maps a value to its histogram bucket. The offset from the domain
+// origin is computed in uint64: an int64 subtraction would wrap for domains
+// wider than half the value space (e.g. a column holding both MinInt64 and
+// MaxInt64), yielding a negative bucket index and an out-of-range panic in
+// RecordQuery — the same wrap class PR 7 fixed in the cracker.
 func (cs *columnStats) bucketOf(v int64) int {
 	if v < cs.domain.Lo {
 		return 0
@@ -70,21 +75,28 @@ func (cs *columnStats) bucketOf(v int64) int {
 	if v >= cs.domain.Hi {
 		return len(cs.buckets) - 1
 	}
-	b := int(float64(v-cs.domain.Lo) / cs.width)
+	b := int((uint64(v) - uint64(cs.domain.Lo)) / cs.width)
 	if b >= len(cs.buckets) {
 		b = len(cs.buckets) - 1
 	}
 	return b
 }
 
-// bucketRange returns the value interval covered by bucket b.
+// bucketRange returns the value interval covered by bucket b, clamped to the
+// domain. For domains narrower than the bucket count the trailing buckets
+// collapse to empty ranges at the domain's top; they never accumulate hits.
 func (cs *columnStats) bucketRange(b int) Range {
-	lo := cs.domain.Lo + int64(float64(b)*cs.width)
-	hi := cs.domain.Lo + int64(float64(b+1)*cs.width)
-	if b == len(cs.buckets)-1 {
-		hi = cs.domain.Hi
+	span := uint64(cs.domain.Hi) - uint64(cs.domain.Lo)
+	lo := uint64(b) * cs.width
+	if lo > span {
+		lo = span
 	}
-	return Range{Lo: lo, Hi: hi}
+	hi := uint64(b+1) * cs.width
+	if hi > span || b == len(cs.buckets)-1 {
+		hi = span
+	}
+	base := uint64(cs.domain.Lo)
+	return Range{Lo: int64(base + lo), Hi: int64(base + hi)}
 }
 
 // Collector aggregates workload statistics across columns. It is safe for
@@ -137,11 +149,21 @@ func (c *Collector) Register(col string, domLo, domHi int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if domHi <= domLo {
+		if domLo == math.MaxInt64 {
+			domLo-- // domLo+1 would wrap
+		}
 		domHi = domLo + 1
+	}
+	// Bucket width in unsigned offset units so a domain spanning more than
+	// half the int64 space (uint64(domHi)-uint64(domLo) wraps correctly)
+	// cannot produce a negative width.
+	width := (uint64(domHi) - uint64(domLo)) / uint64(c.buckets)
+	if width == 0 {
+		width = 1
 	}
 	c.cols[col] = &columnStats{
 		domain:  Range{Lo: domLo, Hi: domHi},
-		width:   float64(domHi-domLo) / float64(c.buckets),
+		width:   width,
 		buckets: make([]float64, c.buckets),
 		lastSeq: c.seq,
 	}
